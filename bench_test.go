@@ -1,0 +1,228 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6). Each benchmark runs the corresponding eval driver on a
+// scaled-down workload and logs the same rows/series the paper reports;
+// cmd/experiments regenerates them at full scale.
+package sgf_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// benchN is the workload scale for benchmarks: large enough for the
+// pipelines to be meaningful, small enough for -bench=. to finish quickly.
+const benchN = 30000
+
+var (
+	benchOnce sync.Once
+	benchPipe *eval.Pipeline
+	benchErr  error
+)
+
+// benchPipeline builds the shared pipeline once, outside benchmark timing.
+func benchPipeline(b *testing.B) *eval.Pipeline {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := eval.DefaultConfig(benchN, 17)
+		cfg.K = 20
+		cfg.MaxCost = 32
+		cfg.SynthPerVariant = 2000
+		cfg.MaxCheckPlausible = 10000
+		benchPipe, benchErr = eval.BuildPipeline(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchPipe
+}
+
+// BenchmarkPipelineBuild measures the full §3 pipeline: simulate, learn the
+// ε=1 DP model, and synthesize every ω variant (the end-to-end cost a data
+// custodian pays).
+func BenchmarkPipelineBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := eval.DefaultConfig(10000, uint64(i))
+		cfg.K = 10
+		cfg.MaxCost = 32
+		cfg.SynthPerVariant = 500
+		cfg.MaxCheckPlausible = 4000
+		cfg.Omegas = []eval.OmegaSpec{{Lo: 9, Hi: 9}}
+		if _, err := eval.BuildPipeline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1RelativeImprovement regenerates Fig. 1: per-attribute
+// relative improvement of model accuracy over marginals for the un-noised,
+// ε=1 and ε=0.1 models.
+func BenchmarkFigure1RelativeImprovement(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunFig12(p, 1, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.RenderFig1())
+}
+
+// BenchmarkFigure2ModelAccuracy regenerates Fig. 2: per-attribute accuracy
+// of the generative model vs random forest vs marginals vs random guessing.
+func BenchmarkFigure2ModelAccuracy(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunFig12(p, 1, 1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.RenderFig2())
+}
+
+// BenchmarkFigure3StatDistanceSingles regenerates Fig. 3 (and Fig. 4's
+// companion run): total variation distance distributions per attribute.
+func BenchmarkFigure3StatDistanceSingles(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.DistanceResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunFig34(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+}
+
+// BenchmarkFigure4StatDistancePairs regenerates Fig. 4: total variation
+// distance distributions per attribute pair. (The driver computes both
+// figures; this benchmark reports the pairwise medians as metrics.)
+func BenchmarkFigure4StatDistancePairs(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.DistanceResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunFig34(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Pairs["Marginals"].Median, "marginals-median-TVD")
+	b.ReportMetric(res.Pairs["omega in [5-11]"].Median, "synthetics-median-TVD")
+}
+
+// BenchmarkFigure5GenerationPerformance regenerates Fig. 5: wall-clock
+// synthesis throughput at ω=9, k from the pipeline config, γ=4.
+func BenchmarkFigure5GenerationPerformance(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.PerfResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunFig5(p, []int{500, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+	persec := float64(res.Counts[len(res.Counts)-1]) / res.SynthTimes[len(res.SynthTimes)-1].Seconds()
+	b.ReportMetric(persec, "candidates/sec")
+}
+
+// BenchmarkFigure6PrivacyTestPassRate regenerates Fig. 6: the fraction of
+// candidates passing the privacy test as k grows, per ω (γ=2).
+func BenchmarkFigure6PrivacyTestPassRate(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.PassRateResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunFig6(p, []int{10, 25, 50, 100}, []eval.OmegaSpec{{Lo: 8, Hi: 8}, {Lo: 9, Hi: 9}, {Lo: 5, Hi: 11}}, 250)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+}
+
+// BenchmarkTable2DataCleaning regenerates Table 2: raw export + §4
+// cleaning statistics.
+func BenchmarkTable2DataCleaning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats, err := eval.RunTable2(20000, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\nTable 2: " + stats.String())
+		}
+	}
+}
+
+// BenchmarkTable3ClassifierComparison regenerates Table 3: Tree/RF/Ada
+// accuracy and agreement rate across training datasets.
+func BenchmarkTable3ClassifierComparison(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.Table3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunTable3(p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+}
+
+// BenchmarkTable4PrivateClassifiers regenerates Table 4: LR/SVM under
+// non-private, output-perturbation and objective-perturbation training on
+// reals versus non-private training on marginals/synthetics.
+func BenchmarkTable4PrivateClassifiers(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.Table4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunTable4(p, []float64{1e-3, 1e-4, 1e-5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+}
+
+// BenchmarkTable5DistinguishingGame regenerates Table 5: RF/Tree accuracy
+// at separating synthetics from reals.
+func BenchmarkTable5DistinguishingGame(b *testing.B) {
+	p := benchPipeline(b)
+	b.ResetTimer()
+	var res *eval.Table5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = eval.RunTable5(p, 1200, 600)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+	for _, row := range res.Rows {
+		if row.Name == "Marginals" {
+			b.ReportMetric(row.AccRF, "marginals-RF-acc")
+		}
+		if row.Name == "omega in [5-11]" {
+			b.ReportMetric(row.AccRF, "synthetics-RF-acc")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command acsgen generates an ACS-2013-like raw microdata export (§4 of the
+// paper): a CSV file with the eleven Table 1 attributes, optionally with
+// missing/invalid cells injected so the cleaning pipeline has realistic
+// work, plus the metadata spec file the sgf tool consumes.
+//
+// Usage:
+//
+//	acsgen -n 100000 -out acs.csv -meta-out acs.meta [-dirty] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/acs"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 100000, "number of raw records to generate")
+		out         = flag.String("out", "acs.csv", "output CSV path")
+		metaOut     = flag.String("meta-out", "acs.meta", "output metadata spec path")
+		dirty       = flag.Bool("dirty", true, "inject missing/invalid cells (Table 2 regime)")
+		missingRate = flag.Float64("missing-rate", 0.06, "per-cell missing probability when dirty")
+		invalidRate = flag.Float64("invalid-rate", 0.005, "per-cell invalid probability when dirty")
+		seed        = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*n, *out, *metaOut, *dirty, *missingRate, *invalidRate, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "acsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, out, metaOut string, dirty bool, missingRate, invalidRate float64, seed uint64) error {
+	pop := acs.NewPopulation()
+	r := rng.New(seed)
+
+	mf, err := os.Create(metaOut)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := pop.Meta().WriteSpec(mf); err != nil {
+		return err
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if dirty {
+		cfg := acs.DirtyConfig{MissingCellRate: missingRate, InvalidCellRate: invalidRate}
+		if err := acs.WriteDirtyCSV(f, pop, r, n, cfg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d raw records (dirty) to %s, metadata to %s\n", n, out, metaOut)
+		return nil
+	}
+	ds := pop.Generate(r, n)
+	if err := dataset.WriteCSV(f, ds); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d clean records to %s, metadata to %s\n", n, out, metaOut)
+	return nil
+}

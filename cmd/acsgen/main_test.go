@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunCleanExport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "acs.csv")
+	meta := filepath.Join(dir, "acs.meta")
+	if err := run(500, out, meta, false, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Open(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	schema, err := dataset.ReadSpec(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Attrs) != 11 {
+		t.Fatalf("schema has %d attributes", len(schema.Attrs))
+	}
+	df, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	ds, stats, err := dataset.ReadCSV(df, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != 500 || ds.Len() != 500 {
+		t.Fatalf("clean export lost rows: %+v", stats)
+	}
+}
+
+func TestRunDirtyExport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "acs.csv")
+	meta := filepath.Join(dir, "acs.meta")
+	if err := run(1000, out, meta, true, 0.08, 0.01, 2); err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := os.Open(meta)
+	defer mf.Close()
+	schema, err := dataset.ReadSpec(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, _ := os.Open(out)
+	defer df.Close()
+	_, stats, err := dataset.ReadCSV(df, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedMissing == 0 {
+		t.Fatal("dirty export produced no missing cells")
+	}
+}
+
+func TestRunRejectsBadPath(t *testing.T) {
+	if err := run(10, "/nonexistent-dir/x.csv", filepath.Join(t.TempDir(), "m"), false, 0, 0, 1); err == nil {
+		t.Fatal("bad output path accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/acs"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestAuditEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	pop := acs.NewPopulation()
+	data := pop.Generate(rng.New(1), 3000)
+
+	dataPath := filepath.Join(dir, "data.csv")
+	metaPath := filepath.Join(dir, "meta.spec")
+	candPath := filepath.Join(dir, "cand.csv")
+	outPath := filepath.Join(dir, "audit.txt")
+
+	writeCSV := func(path string, ds *dataset.Dataset) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dataset.WriteCSV(f, ds); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	writeCSV(dataPath, data)
+	mf, err := os.Create(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.Meta().WriteSpec(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	// Candidates: copies of real records — re-synthesizable with generous
+	// ω, so common records audit as deniable while rare ones (few
+	// plausible seeds) correctly fail.
+	cands := data.Head(5).Clone()
+	writeCSV(candPath, cands)
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dataPath, metaPath, candPath, 5, 4, 1, 5, 11, 32, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+
+	report, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(report)
+	// k=5 cannot reach δ ≤ 1e-6 (δ = e^{−ε0(k−t)} ≥ e^{−4}), so the budget
+	// line reports infeasibility rather than a Theorem 1 budget.
+	if !strings.Contains(text, "release parameters:") {
+		t.Fatal("budget line missing")
+	}
+	if !strings.Contains(text, "auditing 5 of 5") {
+		t.Fatalf("audit header wrong:\n%s", text)
+	}
+	// The summary count must equal the number of per-record "true" rows.
+	trues := strings.Count(text, " true")
+	if !strings.Contains(text, fmt.Sprintf("%d/5 audited records satisfy", trues)) {
+		t.Fatalf("summary inconsistent with per-record verdicts:\n%s", text)
+	}
+	if trues == 0 {
+		t.Fatalf("no candidate audited as deniable; audit vacuous:\n%s", text)
+	}
+}
+
+func TestAuditValidation(t *testing.T) {
+	out, _ := os.Create(filepath.Join(t.TempDir(), "o"))
+	defer out.Close()
+	if err := run("/no/data", "/no/meta", "/no/cand", 5, 4, 1, 5, 11, 32, 0, out); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.txt")
+	if err := run(20000, 2000, 5, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, section := range []string{
+		"Table 2:", "Figure 1:", "Figure 2:", "Figure 3:", "Figure 4:",
+		"Figure 5:", "Figure 6:", "Table 3:", "Table 4:", "Table 5:",
+		"Seed-inference attack", "sigma order", "maxcost", "parameter mode",
+		"total runtime:",
+	} {
+		if !strings.Contains(report, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	sgf "repro"
+)
+
+// toolConfig is the §5 config file: "The generation process is defined by
+// the config file, i.e., parameters defined within control various aspects
+// of the generation process" — the privacy parameters k, γ, ε0, the model
+// parameters such as ω, and the optional max_plausible /
+// max_check_plausible early-exit knobs.
+//
+// Format: one "key = value" pair per line; '#' starts a comment; the
+// repeatable key "bucket" takes NAME:WIDTH entries.
+type toolConfig struct {
+	opts    sgf.Options
+	buckets []string
+	set     map[string]bool
+}
+
+// parseConfig reads the key=value format.
+func parseConfig(r io.Reader) (*toolConfig, error) {
+	cfg := &toolConfig{set: map[string]bool{}}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("config line %d: want key = value, got %q", line, text)
+		}
+		key := strings.TrimSpace(parts[0])
+		val := strings.TrimSpace(parts[1])
+		if err := cfg.apply(key, val); err != nil {
+			return nil, fmt.Errorf("config line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading config: %w", err)
+	}
+	return cfg, nil
+}
+
+func (c *toolConfig) apply(key, val string) error {
+	atoi := func() (int, error) { return strconv.Atoi(val) }
+	atof := func() (float64, error) { return strconv.ParseFloat(val, 64) }
+	var err error
+	switch key {
+	case "records", "n":
+		c.opts.Records, err = atoi()
+	case "k":
+		c.opts.K, err = atoi()
+	case "gamma":
+		c.opts.Gamma, err = atof()
+	case "eps0":
+		c.opts.Eps0, err = atof()
+	case "omega_lo":
+		c.opts.OmegaLo, err = atoi()
+	case "omega_hi":
+		c.opts.OmegaHi, err = atoi()
+	case "model_eps":
+		c.opts.ModelEps, err = atof()
+	case "model_delta":
+		c.opts.ModelDelta, err = atof()
+	case "maxcost":
+		c.opts.MaxCost, err = atof()
+	case "max_plausible":
+		c.opts.MaxPlausible, err = atoi()
+	case "max_check_plausible":
+		c.opts.MaxCheckPlausible, err = atoi()
+	case "workers":
+		c.opts.Workers, err = atoi()
+	case "seed":
+		var s uint64
+		s, err = strconv.ParseUint(val, 10, 64)
+		c.opts.Seed = s
+	case "bucket":
+		if !strings.Contains(val, ":") {
+			return fmt.Errorf("bucket %q: want NAME:WIDTH", val)
+		}
+		c.buckets = append(c.buckets, val)
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	if err != nil {
+		return fmt.Errorf("key %q: %v", key, err)
+	}
+	c.set[key] = true
+	return nil
+}
+
+// merge returns the effective options: command-line values that were
+// explicitly set win; otherwise config-file values apply; otherwise the
+// CLI defaults (already in cli) stand.
+//
+// cfgKey names the config-file spelling, cliName the flag spelling.
+func (c *toolConfig) merge(cli sgf.Options, cliSet map[string]bool) sgf.Options {
+	out := cli
+	pick := func(cfgKey, cliName string, fromCfg func()) {
+		if !cliSet[cliName] && c.set[cfgKey] {
+			fromCfg()
+		}
+	}
+	pick("records", "n", func() { out.Records = c.opts.Records })
+	pick("n", "n", func() { out.Records = c.opts.Records })
+	pick("k", "k", func() { out.K = c.opts.K })
+	pick("gamma", "gamma", func() { out.Gamma = c.opts.Gamma })
+	pick("eps0", "eps0", func() { out.Eps0 = c.opts.Eps0 })
+	pick("omega_lo", "omega-lo", func() { out.OmegaLo = c.opts.OmegaLo })
+	pick("omega_hi", "omega-hi", func() { out.OmegaHi = c.opts.OmegaHi })
+	pick("model_eps", "model-eps", func() { out.ModelEps = c.opts.ModelEps })
+	pick("model_delta", "model-delta", func() { out.ModelDelta = c.opts.ModelDelta })
+	pick("maxcost", "maxcost", func() { out.MaxCost = c.opts.MaxCost })
+	pick("max_plausible", "max-plausible", func() { out.MaxPlausible = c.opts.MaxPlausible })
+	pick("max_check_plausible", "max-check-plausible", func() { out.MaxCheckPlausible = c.opts.MaxCheckPlausible })
+	pick("workers", "workers", func() { out.Workers = c.opts.Workers })
+	pick("seed", "seed", func() { out.Seed = c.opts.Seed })
+	return out
+}

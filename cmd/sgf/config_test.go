@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	sgf "repro"
+)
+
+func TestParseConfigFull(t *testing.T) {
+	src := `
+# the §5 parameters
+records = 5000
+k = 50
+gamma = 4       # indistinguishability
+eps0 = 1
+omega_lo = 5
+omega_hi = 11
+model_eps = 1
+model_delta = 1e-9
+maxcost = 128
+max_plausible = 100
+max_check_plausible = 50000
+workers = 12
+seed = 7
+bucket = AGEP:10
+bucket = WKHP:15
+`
+	cfg, err := parseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.opts.Records != 5000 || cfg.opts.K != 50 || cfg.opts.Gamma != 4 {
+		t.Fatalf("core params wrong: %+v", cfg.opts)
+	}
+	if cfg.opts.OmegaLo != 5 || cfg.opts.OmegaHi != 11 {
+		t.Fatalf("omega range wrong: %+v", cfg.opts)
+	}
+	if cfg.opts.ModelDelta != 1e-9 || cfg.opts.MaxCheckPlausible != 50000 {
+		t.Fatalf("model params wrong: %+v", cfg.opts)
+	}
+	if cfg.opts.Workers != 12 || cfg.opts.Seed != 7 {
+		t.Fatalf("runtime params wrong: %+v", cfg.opts)
+	}
+	if len(cfg.buckets) != 2 || cfg.buckets[0] != "AGEP:10" {
+		t.Fatalf("buckets wrong: %v", cfg.buckets)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []string{
+		"k 50",              // missing '='
+		"unknown_key = 1",   // unknown key
+		"k = notanint",      // bad int
+		"gamma = wat",       // bad float
+		"bucket = noColons", // bad bucket
+		"seed = -1",         // negative unsigned
+	}
+	for _, src := range cases {
+		if _, err := parseConfig(strings.NewReader(src)); err == nil {
+			t.Errorf("config %q accepted", src)
+		}
+	}
+}
+
+func TestMergePrecedence(t *testing.T) {
+	cfg, err := parseConfig(strings.NewReader("k = 99\ngamma = 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := sgf.Options{Records: 10, K: 50, Gamma: 4, Eps0: 1}
+	// gamma was explicitly set on the CLI; k was not.
+	out := cfg.merge(cli, map[string]bool{"gamma": true})
+	if out.K != 99 {
+		t.Fatalf("config k not applied: %d", out.K)
+	}
+	if out.Gamma != 4 {
+		t.Fatalf("CLI gamma overridden: %g", out.Gamma)
+	}
+	if out.Records != 10 || out.Eps0 != 1 {
+		t.Fatal("unset keys must keep CLI defaults")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	dataPath, metaPath := writeFixture(t, 2000)
+	cfg, err := parseConfig(strings.NewReader(
+		"records = 20\nk = 4\ngamma = 3\nomega_lo = 6\nomega_hi = 11\nmodel_eps = 0\nmax_check_plausible = 800\nbucket = AGEP:10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cfg.merge(sgf.Options{}, nil)
+	outPath := dataPath + ".synth.csv"
+	if err := run(dataPath, metaPath, outPath, cfg.buckets, opts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sgf "repro"
+	"repro/internal/acs"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// writeFixture produces a small clean CSV + metadata pair for the tool.
+func writeFixture(t *testing.T, n int) (dataPath, metaPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "data.csv")
+	metaPath = filepath.Join(dir, "meta.spec")
+	pop := acs.NewPopulation()
+	ds := pop.Generate(rng.New(11), n)
+	df, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(df, ds); err != nil {
+		t.Fatal(err)
+	}
+	df.Close()
+	mf, err := os.Create(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.Meta().WriteSpec(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	return dataPath, metaPath
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dataPath, metaPath := writeFixture(t, 3000)
+	outPath := filepath.Join(filepath.Dir(dataPath), "synth.csv")
+	opts := sgf.Options{
+		Records: 40, K: 5, Gamma: 4, Eps0: 1,
+		OmegaLo: 5, OmegaHi: 11,
+		ModelEps: 0, MaxCost: 32,
+		MaxPlausible: 20, MaxCheckPlausible: 1000,
+		Seed: 3,
+	}
+	if err := run(dataPath, metaPath, outPath, bucketFlags{"AGEP:10", "WKHP:15"}, opts); err != nil {
+		t.Fatal(err)
+	}
+	// The output decodes against the same schema.
+	mf, _ := os.Open(metaPath)
+	defer mf.Close()
+	schema, err := dataset.ReadSpec(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of, _ := os.Open(outPath)
+	defer of.Close()
+	out, stats, err := dataset.ReadCSV(of, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 40 || stats.DroppedInvalid != 0 {
+		t.Fatalf("synthetic output malformed: %d rows, %+v", out.Len(), stats)
+	}
+}
+
+func TestRunBadBucketSpecs(t *testing.T) {
+	dataPath, metaPath := writeFixture(t, 200)
+	opts := sgf.Options{Records: 5, K: 2, Gamma: 2, OmegaLo: 5, OmegaHi: 11}
+	for _, spec := range []string{"nocolon", "NOPE:10", "AGEP:xx", "SEX:2"} {
+		err := run(dataPath, metaPath, filepath.Join(t.TempDir(), "o.csv"), bucketFlags{spec}, opts)
+		if err == nil {
+			t.Errorf("bucket spec %q accepted", spec)
+		}
+	}
+}
+
+func TestRunMissingFiles(t *testing.T) {
+	opts := sgf.Options{Records: 5, K: 2, Gamma: 2}
+	if err := run("/no/such/data.csv", "/no/such/meta", "/tmp/o.csv", nil, opts); err == nil {
+		t.Fatal("missing input files accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Parameter sweep: the privacy/utility/throughput trade-offs of the
+// mechanism's knobs.
+//
+// The paper's parameters interact:
+//
+//   - larger k → stronger plausible deniability and smaller δ in Theorem 1,
+//     but fewer candidates pass the test (Fig. 6);
+//   - γ closer to 1 → tighter indistinguishability, but narrower partitions
+//     and fewer plausible seeds;
+//   - ε0 → trades the per-record (ε, δ) of Theorem 1 against how often the
+//     randomized threshold rejects candidates;
+//   - ω → lower values keep more of the seed (better per-record fidelity)
+//     but make candidates harder to plausibly deny.
+//
+// This example sweeps each knob on a fixed model and prints pass rates and
+// Theorem 1 budgets, reproducing the qualitative content of Fig. 6 and the
+// k/t/δ guidance below Theorem 1.
+//
+// Run with:
+//
+//	go run ./examples/paramsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sgf "repro"
+	"repro/internal/acs"
+	"repro/internal/bayesnet"
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+func main() {
+	pop := acs.NewPopulation()
+	r := sgf.NewRNG(5)
+	data := pop.Generate(r, 30000)
+	bkt := acs.MustBucketizer(pop.Meta())
+
+	parts, err := data.SplitFrac(r.Split(), 0.25, 0.25, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dt, dp, ds := parts[0], parts[1], parts[2]
+
+	st, err := sgf.LearnStructure(dt, bkt, sgf.StructureConfig{MaxCost: 32, MinCorr: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sgf.LearnModel(dp, bkt, st, sgf.ModelConfig{Alpha: 1, Mode: bayesnet.MAPEstimate})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	passRate := func(omegaLo, omegaHi, k int, gamma, eps0 float64) float64 {
+		syn, err := sgf.NewSeedSynthesizer(model, omegaLo, omegaHi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// MaxPlausible is 2k, not k: the randomized threshold k̃ can land
+		// above k, and counting must be allowed to reach it.
+		mech, err := sgf.NewMechanism(syn, ds, core.TestConfig{
+			K: k, Gamma: gamma,
+			Randomized: eps0 > 0, Eps0: eps0,
+			MaxPlausible: 2 * k, MaxCheckPlausible: 10000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, stats, err := sgf.Generate(mech, 300, 0, uint64(k)<<8^uint64(omegaLo))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return stats.PassRate()
+	}
+
+	fmt.Println("— sweep k (gamma=2, deterministic test), per omega —")
+	fmt.Printf("%6s", "k")
+	for _, om := range []int{7, 8, 9, 10} {
+		fmt.Printf("  omega=%-3d", om)
+	}
+	fmt.Println()
+	for _, k := range []int{10, 25, 50, 100, 200} {
+		fmt.Printf("%6d", k)
+		for _, om := range []int{7, 8, 9, 10} {
+			fmt.Printf("  %7.1f%%", 100*passRate(om, om, k, 2, 0))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n— sweep gamma (k=50, omega in [5,11]) —")
+	for _, gamma := range []float64{1.2, 1.5, 2, 4, 8} {
+		fmt.Printf("gamma=%-4g pass=%5.1f%%\n", gamma, 100*passRate(5, 11, 50, gamma, 0))
+	}
+
+	fmt.Println("\n— sweep eps0: Theorem 1 budget vs pass rate (k=50, gamma=4) —")
+	fmt.Printf("%8s  %10s  %12s  %s\n", "eps0", "pass", "epsilon", "delta")
+	for _, eps0 := range []float64{0.25, 0.5, 1, 2} {
+		b, _, ok := privacy.BestReleaseBudget(50, 4, eps0, 1e-9)
+		if !ok {
+			fmt.Printf("%8.2f  %10s  no t meets delta<=1e-9\n", eps0, "-")
+			continue
+		}
+		fmt.Printf("%8.2f  %9.1f%%  %12.3f  %.2e\n",
+			eps0, 100*passRate(5, 11, 50, 4, eps0), b.Epsilon, b.Delta)
+	}
+
+	fmt.Println("\n— minimal k for delta targets (eps0=1, t=10) —")
+	for _, delta := range []float64{1e-6, 1e-9, 1e-12} {
+		fmt.Printf("delta<=%.0e needs k>=%d\n", delta, privacy.MinKForDelta(1, delta, 10))
+	}
+}

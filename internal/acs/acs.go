@@ -1,0 +1,128 @@
+// Package acs simulates the evaluation dataset of §4 of the paper: the 2013
+// American Community Survey (ACS) extract with the eleven attributes of
+// Table 1, processed the way the UCI Adult dataset was extracted.
+//
+// The real 3.1M-record microdata file is not redistributable here, so this
+// package implements a census-like population model with the same schema,
+// cardinalities and bucketization rules, and with strong cross-attribute
+// dependencies (education → occupation → income, age → marital status →
+// relationship, ...). The evaluation of the paper depends only on those
+// structural properties — high dimensionality (≈ 5×10^11 possible records,
+// most clean records unique) and strong attribute correlations (so that a
+// structured generative model beats independent marginals) — which the
+// simulator reproduces; see DESIGN.md §5 for the substitution rationale.
+package acs
+
+import (
+	"repro/internal/dataset"
+)
+
+// Attribute indices in the extract, in the order of Table 1.
+const (
+	AttrAge        = iota // AGEP: 17..96
+	AttrWorkclass         // COW: 8 classes
+	AttrEducation         // SCHL: 24 levels
+	AttrMarital           // MAR: 5 statuses
+	AttrOccupation        // OCCP: 25 groups
+	AttrRelation          // RELP: 18 relationships
+	AttrRace              // RAC1P: 5 groups
+	AttrSex               // SEX: 2
+	AttrHours             // WKHP: 0..99
+	AttrBirthArea         // WAOB: 8 areas
+	AttrIncome            // WAGP: <=50K / >50K
+	NumAttrs
+)
+
+// Attribute value tables. Cardinalities match Table 1 of the paper exactly.
+var (
+	workclassValues = []string{
+		"private-profit", "private-nonprofit", "local-gov", "state-gov",
+		"federal-gov", "self-emp-not-inc", "self-emp-inc", "family-business",
+	}
+	educationValues = []string{
+		"no-schooling", "preschool", "grade-k4", "grade-5-6", "grade-7-8",
+		"grade-9", "grade-10", "grade-11", "grade-12-no-diploma",
+		"hs-diploma", "ged", "college-less-1yr", "college-1yr-plus",
+		"associates-voc", "associates-acad", "bachelors", "masters",
+		"professional", "doctorate", "some-college-a", "some-college-b",
+		"trade-cert", "adult-ed", "foreign-degree",
+	}
+	maritalValues = []string{
+		"married", "widowed", "divorced", "separated", "never-married",
+	}
+	occupationValues = []string{
+		"management", "business-finance", "computer-math", "architecture-eng",
+		"science", "community-social", "legal", "education", "arts-media",
+		"healthcare-pract", "healthcare-support", "protective",
+		"food-serving", "building-maintenance", "personal-care", "sales",
+		"office-admin", "farming-fishing", "construction", "extraction",
+		"installation-repair", "production", "transportation",
+		"material-moving", "military",
+	}
+	relationValues = []string{
+		"reference-person", "spouse", "biological-child", "adopted-child",
+		"stepchild", "sibling", "parent", "grandchild", "parent-in-law",
+		"child-in-law", "other-relative", "roomer-boarder", "housemate",
+		"unmarried-partner", "foster-child", "other-nonrelative",
+		"inst-gq", "noninst-gq",
+	}
+	raceValues  = []string{"white", "black", "native", "asian", "other"}
+	sexValues   = []string{"male", "female"}
+	birthValues = []string{
+		"us", "pr-us-islands", "latin-america", "asia", "europe", "africa",
+		"northern-america", "oceania",
+	}
+	incomeValues = []string{"<=50K", ">50K"}
+)
+
+// Metadata returns the schema of the pre-processed ACS13 extract (Table 1):
+// 11 attributes, 2 numerical and 9 categorical, with the paper's exact
+// cardinalities (80, 8, 24, 5, 25, 18, 5, 2, 100, 8, 2).
+func Metadata() *dataset.Metadata {
+	return dataset.MustMetadata(
+		dataset.NewNumerical("AGEP", 17, 96),
+		dataset.NewCategorical("COW", workclassValues...),
+		dataset.NewCategorical("SCHL", educationValues...),
+		dataset.NewCategorical("MAR", maritalValues...),
+		dataset.NewCategorical("OCCP", occupationValues...),
+		dataset.NewCategorical("RELP", relationValues...),
+		dataset.NewCategorical("RAC1P", raceValues...),
+		dataset.NewCategorical("SEX", sexValues...),
+		dataset.NewNumerical("WKHP", 0, 99),
+		dataset.NewCategorical("WAOB", birthValues...),
+		dataset.NewCategorical("WAGP", incomeValues...),
+	)
+}
+
+// Bucketizer returns the bkt() mapping of §4: age in bins of 10 years,
+// hours-worked-per-week in bins of 15 hours, and education aggregated so
+// that everything below a high-school diploma forms one bucket and
+// "high school but no college" another.
+func Bucketizer(meta *dataset.Metadata) (*dataset.Bucketizer, error) {
+	b := dataset.NewBucketizer(meta)
+	if err := b.SetWidth(AttrAge, 10); err != nil {
+		return nil, err
+	}
+	if err := b.SetWidth(AttrHours, 15); err != nil {
+		return nil, err
+	}
+	belowHS := []string{
+		"no-schooling", "preschool", "grade-k4", "grade-5-6", "grade-7-8",
+		"grade-9", "grade-10", "grade-11", "grade-12-no-diploma",
+	}
+	hsNoCollege := []string{"hs-diploma", "ged", "adult-ed", "trade-cert"}
+	if err := b.SetGroups(AttrEducation, [][]string{belowHS, hsNoCollege}); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MustBucketizer is Bucketizer for the canonical schema; it panics on
+// error, which cannot happen for the static schema above.
+func MustBucketizer(meta *dataset.Metadata) *dataset.Bucketizer {
+	b, err := Bucketizer(meta)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

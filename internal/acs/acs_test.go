@@ -1,0 +1,247 @@
+package acs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestMetadataMatchesTable1(t *testing.T) {
+	meta := Metadata()
+	wantCards := map[string]int{
+		"AGEP": 80, "COW": 8, "SCHL": 24, "MAR": 5, "OCCP": 25,
+		"RELP": 18, "RAC1P": 5, "SEX": 2, "WKHP": 100, "WAOB": 8, "WAGP": 2,
+	}
+	if len(meta.Attrs) != len(wantCards) {
+		t.Fatalf("attribute count %d, want %d", len(meta.Attrs), len(wantCards))
+	}
+	for name, card := range wantCards {
+		idx := meta.AttrIndex(name)
+		if idx < 0 {
+			t.Fatalf("attribute %s missing", name)
+		}
+		if got := meta.Attrs[idx].Card(); got != card {
+			t.Errorf("%s cardinality %d, want %d", name, got, card)
+		}
+	}
+	// Possible records ≈ 5.5e11 from the Table 1 cardinalities — the same
+	// ≈2^39 regime as the 5.4e11 the paper reports in Table 2 (the paper's
+	// exact figure implies slightly different internal domains).
+	d := dataset.New(meta)
+	want := 552960000000.0
+	if got := d.PossibleRecords(); math.Abs(got-want) > 1 {
+		t.Errorf("possible records %g, want %g", got, want)
+	}
+	numerical := 0
+	for i := range meta.Attrs {
+		if meta.Attrs[i].Kind == dataset.Numerical {
+			numerical++
+		}
+	}
+	if numerical != 2 {
+		t.Errorf("numerical attribute count %d, want 2 (AGEP, WKHP)", numerical)
+	}
+}
+
+func TestBucketizerRules(t *testing.T) {
+	meta := Metadata()
+	b := MustBucketizer(meta)
+	// Ages 17..96 in bins of 10 → 8 buckets.
+	if b.Card(AttrAge) != 8 {
+		t.Errorf("age buckets %d, want 8", b.Card(AttrAge))
+	}
+	// Hours 0..99 in bins of 15 → 7 buckets.
+	if b.Card(AttrHours) != 7 {
+		t.Errorf("hour buckets %d, want 7", b.Card(AttrHours))
+	}
+	// Education: 9 below-HS codes merge, 4 HS-no-college codes merge,
+	// leaving 24 − 13 + 2 = 13 buckets.
+	if b.Card(AttrEducation) != 13 {
+		t.Errorf("education buckets %d, want 13", b.Card(AttrEducation))
+	}
+	// Below-HS values share one bucket.
+	g9, _ := meta.Attrs[AttrEducation].Code("grade-9")
+	g11, _ := meta.Attrs[AttrEducation].Code("grade-11")
+	hs, _ := meta.Attrs[AttrEducation].Code("hs-diploma")
+	ged, _ := meta.Attrs[AttrEducation].Code("ged")
+	ba, _ := meta.Attrs[AttrEducation].Code("bachelors")
+	if b.Bucket(AttrEducation, g9) != b.Bucket(AttrEducation, g11) {
+		t.Error("below-HS values not merged")
+	}
+	if b.Bucket(AttrEducation, hs) != b.Bucket(AttrEducation, ged) {
+		t.Error("HS-no-college values not merged")
+	}
+	if b.Bucket(AttrEducation, hs) == b.Bucket(AttrEducation, g9) {
+		t.Error("HS bucket collides with below-HS bucket")
+	}
+	if b.Bucket(AttrEducation, ba) == b.Bucket(AttrEducation, hs) {
+		t.Error("bachelors merged into HS bucket")
+	}
+}
+
+func TestPopulationValidRecords(t *testing.T) {
+	p := NewPopulation()
+	ds := p.Generate(rng.New(1), 5000)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopulationMarginalsSane(t *testing.T) {
+	p := NewPopulation()
+	ds := p.Generate(rng.New(2), 30000)
+
+	income := stats.FromColumn(ds.Column(AttrIncome), 2)
+	if frac := income.P(1); frac < 0.15 || frac > 0.40 {
+		t.Errorf("P(>50K) = %.3f, want Adult-like 0.15–0.40", frac)
+	}
+	sex := stats.FromColumn(ds.Column(AttrSex), 2)
+	if f := sex.P(1); f < 0.45 || f > 0.60 {
+		t.Errorf("P(female) = %.3f", f)
+	}
+	// Mean age in a plausible band.
+	sumAge := 0.0
+	for _, r := range ds.Rows() {
+		sumAge += float64(r[AttrAge]) + 17
+	}
+	meanAge := sumAge / float64(ds.Len())
+	if meanAge < 35 || meanAge > 55 {
+		t.Errorf("mean age %.1f implausible", meanAge)
+	}
+}
+
+func TestPopulationDependenciesPresent(t *testing.T) {
+	p := NewPopulation()
+	ds := p.Generate(rng.New(3), 40000)
+	meta := ds.Meta
+	su := func(a, b int) float64 {
+		return stats.SymmetricalUncertaintyColumns(
+			ds.Column(a), meta.Attrs[a].Card(), ds.Column(b), meta.Attrs[b].Card())
+	}
+	// The couplings the paper's evaluation depends on must be clearly
+	// above noise level.
+	deps := []struct {
+		a, b int
+		min  float64
+		name string
+	}{
+		{AttrEducation, AttrIncome, 0.02, "education-income"},
+		{AttrEducation, AttrOccupation, 0.04, "education-occupation"},
+		{AttrAge, AttrMarital, 0.05, "age-marital"},
+		{AttrMarital, AttrRelation, 0.08, "marital-relation"},
+		{AttrRace, AttrBirthArea, 0.08, "race-birtharea"},
+		{AttrSex, AttrOccupation, 0.02, "sex-occupation"},
+		{AttrHours, AttrIncome, 0.01, "hours-income"},
+	}
+	for _, d := range deps {
+		if got := su(d.a, d.b); got < d.min {
+			t.Errorf("dependency %s too weak: SU = %.4f < %.4f", d.name, got, d.min)
+		}
+	}
+	// And independent-ish pairs should stay weak.
+	if got := su(AttrSex, AttrRace); got > 0.01 {
+		t.Errorf("sex-race dependency unexpectedly strong: %.4f", got)
+	}
+}
+
+func TestPopulationMostlyUniqueRecords(t *testing.T) {
+	// Table 2: ~2/3 of clean records are unique. The simulator should be
+	// in the same high-dimensionality regime.
+	p := NewPopulation()
+	ds := p.Generate(rng.New(4), 30000)
+	frac := float64(ds.UniqueCount()) / float64(ds.Len())
+	if frac < 0.55 {
+		t.Errorf("unique fraction %.3f too low for a 2^39 universe", frac)
+	}
+}
+
+func TestPopulationIncomeGradients(t *testing.T) {
+	p := NewPopulation()
+	r := rng.New(5)
+	ds := p.Generate(r, 60000)
+	meta := ds.Meta
+	ba, _ := meta.Attrs[AttrEducation].Code("bachelors")
+	richBA, nBA, richHS, nHS := 0, 0, 0, 0
+	hs, _ := meta.Attrs[AttrEducation].Code("hs-diploma")
+	for _, rec := range ds.Rows() {
+		switch rec[AttrEducation] {
+		case ba:
+			nBA++
+			richBA += int(rec[AttrIncome])
+		case hs:
+			nHS++
+			richHS += int(rec[AttrIncome])
+		}
+	}
+	if nBA == 0 || nHS == 0 {
+		t.Fatal("degenerate education marginals")
+	}
+	pBA := float64(richBA) / float64(nBA)
+	pHS := float64(richHS) / float64(nHS)
+	if pBA <= pHS+0.1 {
+		t.Errorf("P(>50K|BA)=%.3f not clearly above P(>50K|HS)=%.3f", pBA, pHS)
+	}
+}
+
+func TestWriteDirtyCSVAndCleaning(t *testing.T) {
+	p := NewPopulation()
+	var buf bytes.Buffer
+	if err := WriteDirtyCSV(&buf, p, rng.New(6), 5000, DefaultDirtyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ds, st, err := dataset.ReadCSV(bytes.NewReader(buf.Bytes()), p.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 5000 {
+		t.Fatalf("raw rows %d", st.Total)
+	}
+	if st.DroppedMissing == 0 || st.DroppedInvalid == 0 {
+		t.Fatalf("dirty injection produced no drops: %+v", st)
+	}
+	// Per-cell missing rate 0.06 over 11 attrs → ~49% records dropped for
+	// missing; the Table 2 regime (roughly half dropped).
+	dropFrac := float64(st.DroppedMissing+st.DroppedInvalid) / float64(st.Total)
+	if dropFrac < 0.30 || dropFrac > 0.70 {
+		t.Errorf("drop fraction %.3f outside the Table 2 regime", dropFrac)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDirtyCSVRejectsBadRates(t *testing.T) {
+	p := NewPopulation()
+	var buf bytes.Buffer
+	if err := WriteDirtyCSV(&buf, p, rng.New(7), 10, DirtyConfig{MissingCellRate: 1.5}); err == nil {
+		t.Fatal("bad missing rate accepted")
+	}
+	if err := WriteDirtyCSV(&buf, p, rng.New(7), 10, DirtyConfig{InvalidCellRate: -0.1}); err == nil {
+		t.Fatal("negative invalid rate accepted")
+	}
+}
+
+func TestCleanCSVRoundTripThroughDataset(t *testing.T) {
+	p := NewPopulation()
+	ds := p.Generate(rng.New(8), 200)
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, st, err := dataset.ReadCSV(bytes.NewReader(buf.Bytes()), p.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Clean != 200 || back.Len() != 200 {
+		t.Fatalf("clean round trip lost rows: %d", back.Len())
+	}
+	for i := range ds.Rows() {
+		if !back.Row(i).Equal(ds.Row(i)) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}

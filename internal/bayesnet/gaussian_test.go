@@ -1,0 +1,198 @@
+package bayesnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// gaussData builds records where a numeric attribute clusters around a
+// parent-dependent mean: Y=0 → values near 20, Y=1 → values near 70.
+func gaussData(t testing.TB, n int, seed uint64) (*dataset.Dataset, *Structure) {
+	t.Helper()
+	meta := dataset.MustMetadata(
+		dataset.NewCategorical("Y", "lo", "hi"),
+		dataset.NewNumerical("X", 0, 99),
+	)
+	g := NewGraph(2)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Structure{Graph: g, Order: order, Scores: make([]float64, 2)}
+	r := rng.New(seed)
+	ds := dataset.New(meta)
+	for i := 0; i < n; i++ {
+		y := uint16(r.Intn(2))
+		mean := 20.0
+		if y == 1 {
+			mean = 70
+		}
+		x := int(math.Round(r.Normal(mean, 8)))
+		if x < 0 {
+			x = 0
+		}
+		if x > 99 {
+			x = 99
+		}
+		ds.Append(dataset.Record{y, uint16(x)})
+	}
+	return ds, st
+}
+
+func TestGaussianConditionalLearnsMeans(t *testing.T) {
+	ds, st := gaussData(t, 5000, 1)
+	bkt := dataset.NewBucketizer(ds.Meta)
+	model, err := LearnModel(ds, bkt, st, ModelConfig{GaussianNumerical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(y uint16) float64 {
+		dist := model.CondDist(1, dataset.Record{y, 0})
+		m := 0.0
+		for v, p := range dist {
+			m += float64(v) * p
+		}
+		return m
+	}
+	lo, hi := meanOf(0), meanOf(1)
+	if math.Abs(lo-20) > 4 {
+		t.Errorf("conditional mean for Y=lo is %.1f, want ~20", lo)
+	}
+	if math.Abs(hi-70) > 4 {
+		t.Errorf("conditional mean for Y=hi is %.1f, want ~70", hi)
+	}
+}
+
+func TestGaussianConditionalNormalized(t *testing.T) {
+	ds, st := gaussData(t, 800, 2)
+	bkt := dataset.NewBucketizer(ds.Meta)
+	for _, mode := range []ParamMode{MAPEstimate, PosteriorSample} {
+		for _, dp := range []bool{false, true} {
+			cfg := ModelConfig{GaussianNumerical: true, Mode: mode, NoiseKey: "g"}
+			if dp {
+				cfg.DP, cfg.EpsP = true, 1
+			}
+			model, err := LearnModel(ds, bkt, st, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for y := uint16(0); y < 2; y++ {
+				dist := model.CondDist(1, dataset.Record{y, 0})
+				sum := 0.0
+				for _, p := range dist {
+					if p < 0 {
+						t.Fatalf("negative probability (mode %d dp %v)", mode, dp)
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("gaussian conditional sums to %g (mode %d dp %v)", sum, mode, dp)
+				}
+			}
+		}
+	}
+}
+
+func TestGaussianSamplingMatchesConditional(t *testing.T) {
+	ds, st := gaussData(t, 5000, 3)
+	bkt := dataset.NewBucketizer(ds.Meta)
+	model, err := LearnModel(ds, bkt, st, ModelConfig{GaussianNumerical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	sum := 0.0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := model.SampleAttr(1, dataset.Record{1, 0}, r)
+		sum += float64(v)
+	}
+	if mean := sum / draws; math.Abs(mean-70) > 4 {
+		t.Fatalf("sampled mean %.1f, want ~70", mean)
+	}
+}
+
+func TestGaussianDPDeterministicPerKey(t *testing.T) {
+	ds, st := gaussData(t, 500, 5)
+	bkt := dataset.NewBucketizer(ds.Meta)
+	build := func(key string) *Model {
+		m, err := LearnModel(ds, bkt, st, ModelConfig{
+			GaussianNumerical: true, DP: true, EpsP: 0.5, NoiseKey: key,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	rec := dataset.Record{1, 0}
+	p1 := build("a").CondProb(1, 70, rec)
+	p2 := build("a").CondProb(1, 70, rec)
+	p3 := build("b").CondProb(1, 70, rec)
+	if p1 != p2 {
+		t.Fatal("same key gave different gaussian noise")
+	}
+	if p1 == p3 {
+		t.Fatal("different keys gave identical gaussian noise")
+	}
+}
+
+func TestGaussianOnlyAffectsNumerical(t *testing.T) {
+	ds, st := gaussData(t, 500, 6)
+	bkt := dataset.NewBucketizer(ds.Meta)
+	plain, err := LearnModel(ds, bkt, st, ModelConfig{NoiseKey: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauss, err := LearnModel(ds, bkt, st, ModelConfig{NoiseKey: "x", GaussianNumerical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The categorical root Y must have identical parameters either way.
+	for v := uint16(0); v < 2; v++ {
+		if plain.CondProb(0, v, dataset.Record{0, 0}) != gauss.CondProb(0, v, dataset.Record{0, 0}) {
+			t.Fatal("gaussian mode changed a categorical attribute's parameters")
+		}
+	}
+}
+
+func TestGaussianUnseenConfigFallsBackToPrior(t *testing.T) {
+	meta := dataset.MustMetadata(
+		dataset.NewCategorical("Y", "a", "b", "c"),
+		dataset.NewNumerical("X", 0, 9),
+	)
+	g := NewGraph(2)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	order, _ := g.TopologicalOrder()
+	st := &Structure{Graph: g, Order: order, Scores: make([]float64, 2)}
+	ds := dataset.New(meta)
+	ds.Append(dataset.Record{0, 5}) // config Y=c never observed
+	bkt := dataset.NewBucketizer(meta)
+	model, err := LearnModel(ds, bkt, st, ModelConfig{GaussianNumerical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := model.CondDist(1, dataset.Record{2, 0})
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("prior fallback not normalized: %g", sum)
+	}
+	// Prior centers mid-range: the mean should be near 4.5.
+	mean := 0.0
+	for v, p := range dist {
+		mean += float64(v) * p
+	}
+	if math.Abs(mean-4.5) > 1.5 {
+		t.Fatalf("prior mean %.2f, want ~4.5", mean)
+	}
+}

@@ -1,0 +1,156 @@
+package bayesnet
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAddEdgeRejectsCycles(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 0); err == nil {
+		t.Fatal("cycle 0→1→2→0 accepted")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self-edge accepted")
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestWouldCycle(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	if !g.WouldCycle(2, 0) {
+		t.Fatal("2→0 should cycle")
+	}
+	if g.WouldCycle(0, 3) {
+		t.Fatal("0→3 should not cycle")
+	}
+	if !g.WouldCycle(3, 3) {
+		t.Fatal("self edge should count as cycle")
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, j, i int) {
+	t.Helper()
+	if err := g.AddEdge(j, i); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologicalOrderRespectsParents(t *testing.T) {
+	g := NewGraph(5)
+	mustAdd(t, g, 0, 2)
+	mustAdd(t, g, 1, 2)
+	mustAdd(t, g, 2, 3)
+	mustAdd(t, g, 3, 4)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 5)
+	for p, a := range order {
+		pos[a] = p
+	}
+	for i := range g.Parents {
+		for _, p := range g.Parents[i] {
+			if pos[p] >= pos[i] {
+				t.Fatalf("order %v violates parent %d of %d", order, p, i)
+			}
+		}
+	}
+}
+
+func TestTopologicalOrderDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph(6)
+		mustAddT(g, 5, 0)
+		mustAddT(g, 3, 1)
+		return g
+	}
+	a, _ := build().TopologicalOrder()
+	b, _ := build().TopologicalOrder()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("orders differ: %v vs %v", a, b)
+		}
+	}
+}
+
+func mustAddT(g *Graph, j, i int) {
+	if err := g.AddEdge(j, i); err != nil {
+		panic(err)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	g := NewGraph(4)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 0, 2)
+	mustAdd(t, g, 1, 3)
+	ch := g.Children(0)
+	if len(ch) != 2 || ch[0] != 1 || ch[1] != 2 {
+		t.Fatalf("Children(0) = %v", ch)
+	}
+	if len(g.Children(3)) != 0 {
+		t.Fatal("leaf has children")
+	}
+}
+
+func TestValidateDetectsBadGraphs(t *testing.T) {
+	g := &Graph{Parents: [][]int{{1}, {0}}} // 2-cycle
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle validated")
+	}
+	g = &Graph{Parents: [][]int{{5}, nil}} // out of range
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range parent validated")
+	}
+	g = &Graph{Parents: [][]int{{0}, nil}} // self parent
+	if err := g.Validate(); err == nil {
+		t.Fatal("self parent validated")
+	}
+	g = &Graph{Parents: [][]int{nil, {0, 0}}} // duplicate parent
+	if err := g.Validate(); err == nil {
+		t.Fatal("duplicate parent validated")
+	}
+}
+
+// Property: a graph grown by random AddEdge attempts (errors ignored) is
+// always a valid DAG with a consistent topological order.
+func TestRandomGrowthStaysAcyclic(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(10)
+		g := NewGraph(n)
+		for e := 0; e < 3*n; e++ {
+			j, i := r.Intn(n), r.Intn(n)
+			_ = g.AddEdge(j, i) // may fail; that's the point
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("grown graph invalid: %v\n%v", err, g)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1)
+	c := g.Clone()
+	mustAdd(t, c, 1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("clone shares storage with original")
+	}
+	if g.NumEdges() != 1 || c.NumEdges() != 2 {
+		t.Fatalf("edge counts wrong: %d, %d", g.NumEdges(), c.NumEdges())
+	}
+}

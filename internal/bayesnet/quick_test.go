@@ -1,0 +1,172 @@
+package bayesnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// TestQuickCondDistNormalized: conditionals of a model over random data and
+// random structures always form probability distributions, for both
+// parameter modes and with and without DP noise.
+func TestQuickCondDistNormalized(t *testing.T) {
+	r := rng.New(301)
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + r.Intn(4)
+		attrs := make([]dataset.Attribute, m)
+		for i := range attrs {
+			card := 2 + r.Intn(5)
+			vals := make([]string, card)
+			for v := range vals {
+				vals[v] = string(rune('a'+i)) + string(rune('0'+v))
+			}
+			attrs[i] = dataset.NewCategorical(string(rune('A'+i)), vals...)
+		}
+		meta := dataset.MustMetadata(attrs...)
+		// Random DAG via random greedy edges.
+		g := NewGraph(m)
+		for e := 0; e < 2*m; e++ {
+			_ = g.AddEdge(r.Intn(m), r.Intn(m))
+		}
+		cards := make([]int, m)
+		for i := range attrs {
+			cards[i] = attrs[i].Card()
+		}
+		order, err := g.TopologicalOrderPreferring(cards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &Structure{Graph: g, Order: order, Scores: make([]float64, m)}
+
+		ds := dataset.New(meta)
+		for i := 0; i < 200; i++ {
+			rec := make(dataset.Record, m)
+			for a := range rec {
+				rec[a] = uint16(r.Intn(attrs[a].Card()))
+			}
+			ds.Append(rec)
+		}
+		bkt := dataset.NewBucketizer(meta)
+		for _, mode := range []ParamMode{MAPEstimate, PosteriorSample} {
+			for _, dp := range []bool{false, true} {
+				cfg := ModelConfig{Alpha: 0.5, Mode: mode, NoiseKey: "qk"}
+				if dp {
+					cfg.DP, cfg.EpsP = true, 0.5
+				}
+				model, err := LearnModel(ds, bkt, st, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for probe := 0; probe < 10; probe++ {
+					rec := make(dataset.Record, m)
+					for a := range rec {
+						rec[a] = uint16(r.Intn(attrs[a].Card()))
+					}
+					for a := 0; a < m; a++ {
+						dist := model.CondDist(a, rec)
+						sum := 0.0
+						for _, p := range dist {
+							if p < 0 {
+								t.Fatalf("negative probability %g (mode %d dp %v)", p, mode, dp)
+							}
+							sum += p
+						}
+						if math.Abs(sum-1) > 1e-9 {
+							t.Fatalf("conditional sums to %g (mode %d dp %v)", sum, mode, dp)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickConfigIndexBounded: ConfigIndex is always within NumConfigs.
+func TestQuickConfigIndexBounded(t *testing.T) {
+	ds := xorData(t, 200, 302)
+	bkt := dataset.NewBucketizer(ds.Meta)
+	model, err := LearnModel(ds, bkt, xorStructure(ds.Meta), ModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c uint8) bool {
+		rec := dataset.Record{uint16(a) % 2, uint16(b) % 2, uint16(c) % 2}
+		for attr := 0; attr < 3; attr++ {
+			if model.ConfigIndex(attr, rec) >= model.NumConfigs(attr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTopologicalOrderValid: for arbitrary weights and random DAGs,
+// the preferring order is always a valid topological order covering all
+// nodes exactly once.
+func TestQuickTopologicalOrderValid(t *testing.T) {
+	r := rng.New(303)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(12)
+		g := NewGraph(n)
+		for e := 0; e < 3*n; e++ {
+			_ = g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		weights := make([]int, n)
+		for i := range weights {
+			weights[i] = r.Intn(5)
+		}
+		order, err := g.TopologicalOrderPreferring(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != n {
+			t.Fatalf("order covers %d of %d nodes", len(order), n)
+		}
+		pos := make([]int, n)
+		seen := make([]bool, n)
+		for p, a := range order {
+			if seen[a] {
+				t.Fatalf("node %d appears twice", a)
+			}
+			seen[a] = true
+			pos[a] = p
+		}
+		for i, ps := range g.Parents {
+			for _, p := range ps {
+				if pos[p] >= pos[i] {
+					t.Fatalf("parent %d after child %d in %v", p, i, order)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickSampleRecordInDomain: ancestral samples always stay inside the
+// schema domains.
+func TestQuickSampleRecordInDomain(t *testing.T) {
+	ds := chainData(t, 500, 304)
+	bkt := dataset.NewBucketizer(ds.Meta)
+	st, err := LearnStructure(ds, bkt, StructureConfig{MinCorr: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := LearnModel(ds, bkt, st, ModelConfig{Mode: PosteriorSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(305)
+	for i := 0; i < 2000; i++ {
+		rec := model.SampleRecord(r)
+		for a, code := range rec {
+			if int(code) >= ds.Meta.Attrs[a].Card() {
+				t.Fatalf("sample %v out of domain at attribute %d", rec, a)
+			}
+		}
+	}
+}

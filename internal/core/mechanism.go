@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// Mechanism is Mechanism 1 of §2: sample a seed from the seed dataset,
+// generate a candidate synthetic with the generative model, and release it
+// only if the privacy test passes.
+type Mechanism struct {
+	Synth Synthesizer
+	// Seeds is the synthesis split DS of the input dataset.
+	Seeds *dataset.Dataset
+	Test  TestConfig
+}
+
+// NewMechanism validates the configuration (|D| ≥ k is required by
+// Definition 1 and Theorem 1).
+func NewMechanism(syn Synthesizer, seeds *dataset.Dataset, test TestConfig) (*Mechanism, error) {
+	if err := test.Validate(); err != nil {
+		return nil, err
+	}
+	if seeds.Len() < test.K {
+		return nil, fmt.Errorf("core: seed dataset has %d records, need at least k=%d", seeds.Len(), test.K)
+	}
+	return &Mechanism{Synth: syn, Seeds: seeds, Test: test}, nil
+}
+
+// Once runs one iteration of Mechanism 1: it returns the candidate, the
+// test outcome, and whether the candidate may be released. The candidate is
+// returned even when the test fails so that callers can account for it
+// (the tool emits all candidates and marks which passed, §6.5); callers
+// must release only records with ok == true.
+func (m *Mechanism) Once(r *rng.RNG) (dataset.Record, TestResult, bool) {
+	seed := m.Seeds.Row(r.Intn(m.Seeds.Len()))
+	y := m.Synth.Generate(seed, r)
+	res, err := RunTest(m.Synth, m.Seeds, seed, y, m.Test, r)
+	if err != nil {
+		// Config was validated at construction; an error here means the
+		// dataset emptied underneath us, which is a programming error.
+		panic(err)
+	}
+	return y, res, res.Pass
+}
+
+// ReleaseBudget returns the per-released-record (ε, δ) differential privacy
+// guarantee of Theorem 1 for this mechanism's parameters, optimized over
+// the trade-off parameter t. The boolean is false for the deterministic
+// test (no DP guarantee) or when no t meets the δ target.
+func (m *Mechanism) ReleaseBudget(maxDelta float64) (privacy.Budget, bool) {
+	if !m.Test.Randomized {
+		return privacy.Budget{}, false
+	}
+	b, _, ok := privacy.BestReleaseBudget(m.Test.K, m.Test.Gamma, m.Test.Eps0, maxDelta)
+	return b, ok
+}
+
+// GenStats aggregates the outcome of a generation run.
+type GenStats struct {
+	// Candidates is the number of candidate synthetics generated.
+	Candidates int
+	// Released is the number that passed the privacy test.
+	Released int
+	// SeedRejected counts candidates whose own seed had zero generation
+	// probability (cannot happen with seed-based synthesis; tracked for
+	// generality).
+	SeedRejected int
+	// CheckedTotal is the total number of plausible-seed examinations.
+	CheckedTotal int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// PassRate returns Released/Candidates (0 when no candidates were drawn).
+func (s GenStats) PassRate() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return float64(s.Released) / float64(s.Candidates)
+}
+
+// GenConfig controls a generation run.
+type GenConfig struct {
+	// Candidates is the number of candidate synthetics to draw.
+	Candidates int
+	// Workers is the parallelism degree; 0 means GOMAXPROCS. Synthesis of
+	// one record is independent of all others (§5), so the run scales
+	// embarrassingly.
+	Workers int
+	// Seed seeds the run's deterministic RNG tree.
+	Seed uint64
+}
+
+// Generate runs Mechanism 1 cfg.Candidates times and returns the released
+// synthetic records. Workers operate on disjoint RNG streams split off a
+// root stream and results are concatenated in worker order, so the released
+// sequence is deterministic for a fixed seed and worker count.
+func Generate(mech *Mechanism, cfg GenConfig) (*dataset.Dataset, GenStats, error) {
+	if cfg.Candidates < 0 {
+		return nil, GenStats{}, fmt.Errorf("core: negative candidate count %d", cfg.Candidates)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Candidates && cfg.Candidates > 0 {
+		workers = cfg.Candidates
+	}
+
+	start := time.Now()
+	root := rng.New(cfg.Seed)
+	streams := make([]*rng.RNG, workers)
+	for w := range streams {
+		streams[w] = root.Split()
+	}
+
+	var (
+		cands    int64
+		pass     int64
+		checked  int64
+		rejected int64
+	)
+	// Per-worker result slots, concatenated in worker order afterwards, so
+	// the released sequence is deterministic for a fixed seed and worker
+	// count (goroutine completion order is not).
+	perWorker := make([][]dataset.Record, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := cfg.Candidates / workers
+		if w < cfg.Candidates%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w int, r *rng.RNG, share int) {
+			defer wg.Done()
+			local := make([]dataset.Record, 0, share/2)
+			for i := 0; i < share; i++ {
+				y, res, ok := mech.Once(r)
+				atomic.AddInt64(&cands, 1)
+				atomic.AddInt64(&checked, int64(res.Checked))
+				if res.SeedProb <= 0 {
+					atomic.AddInt64(&rejected, 1)
+				}
+				if ok {
+					local = append(local, y)
+					atomic.AddInt64(&pass, 1)
+				}
+			}
+			perWorker[w] = local
+		}(w, streams[w], share)
+	}
+	wg.Wait()
+
+	var released []dataset.Record
+	for _, local := range perWorker {
+		released = append(released, local...)
+	}
+	out := dataset.FromRecords(mech.Seeds.Meta, released)
+	stats := GenStats{
+		Candidates:   int(cands),
+		Released:     int(pass),
+		SeedRejected: int(rejected),
+		CheckedTotal: checked,
+		Elapsed:      time.Since(start),
+	}
+	return out, stats, nil
+}
+
+// GenerateTarget keeps drawing candidates until `target` records have been
+// released or maxCandidates candidates have been drawn (0 = 100×target).
+// It is the convenient entry point when a synthetic dataset of a given size
+// is wanted and the pass rate is unknown.
+func GenerateTarget(mech *Mechanism, target, maxCandidates int, workers int, seed uint64) (*dataset.Dataset, GenStats, error) {
+	if target <= 0 {
+		return nil, GenStats{}, fmt.Errorf("core: target must be positive, got %d", target)
+	}
+	if maxCandidates <= 0 {
+		maxCandidates = 100 * target
+	}
+	out := dataset.New(mech.Seeds.Meta)
+	var total GenStats
+	start := time.Now()
+	chunk := target
+	rootSeed := seed
+	for out.Len() < target && total.Candidates < maxCandidates {
+		remaining := maxCandidates - total.Candidates
+		if chunk > remaining {
+			chunk = remaining
+		}
+		batch, stats, err := Generate(mech, GenConfig{Candidates: chunk, Workers: workers, Seed: rootSeed})
+		if err != nil {
+			return nil, total, err
+		}
+		rootSeed++
+		total.Candidates += stats.Candidates
+		total.Released += stats.Released
+		total.CheckedTotal += stats.CheckedTotal
+		for _, r := range batch.Rows() {
+			if out.Len() >= target {
+				break
+			}
+			out.Append(r)
+		}
+		// Adapt the next chunk to the observed pass rate.
+		need := target - out.Len()
+		if need > 0 {
+			rate := stats.PassRate()
+			if rate < 0.01 {
+				rate = 0.01
+			}
+			chunk = int(float64(need)/rate) + 1
+		}
+	}
+	total.Elapsed = time.Since(start)
+	if out.Len() < target {
+		return out, total, fmt.Errorf("core: released only %d/%d records after %d candidates", out.Len(), target, total.Candidates)
+	}
+	return out, total, nil
+}

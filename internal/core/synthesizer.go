@@ -1,0 +1,172 @@
+// Package core implements the paper's primary contribution: plausible
+// deniability as a privacy criterion for data synthesis (§2).
+//
+// It provides the seed-based generative synthesis of §3.2 with exact
+// generation probabilities Pr{y = M(d)}, the marginal baseline, the
+// (k, γ)-plausible deniability criterion of Definition 1, the deterministic
+// Privacy Test 1 and the randomized Privacy Test 2 (whose composition with
+// Mechanism 1 is (ε, δ)-differentially private by Theorem 1), Mechanism 1
+// itself, and an embarrassingly parallel generation pipeline mirroring the
+// tool of §5.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bayesnet"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Synthesizer is a probabilistic generative model M that transforms a seed
+// record into a synthetic record, with computable generation probabilities.
+type Synthesizer interface {
+	// Generate produces a synthetic record y = M(seed).
+	Generate(seed dataset.Record, r *rng.RNG) dataset.Record
+	// GenProb returns Pr{y = M(d)}: the probability that the model would
+	// output y given seed d.
+	GenProb(y, d dataset.Record) float64
+	// Prober returns a function computing Pr{y = M(d)} for a fixed y.
+	// Implementations precompute whatever they can for y, making repeated
+	// evaluation over many candidate seeds (the plausible-seed count of the
+	// privacy tests) cheap.
+	Prober(y dataset.Record) func(d dataset.Record) float64
+}
+
+// SeedSynthesizer is the generative synthesis of §3.2: a synthetic record
+// keeps the first m−ω attributes of its seed (in the model's dependency
+// order σ) and re-samples the remaining ω attributes from the model's
+// conditionals (eq. 3). ω is drawn uniformly from [OmegaLo, OmegaHi] for
+// every candidate; setting OmegaLo == OmegaHi gives the fixed-ω variants of
+// §6, and a proper range gives the ω ∈R [lo, hi] variants.
+type SeedSynthesizer struct {
+	Model   *bayesnet.Model
+	OmegaLo int
+	OmegaHi int
+}
+
+// NewSeedSynthesizer validates the ω range against the model width.
+func NewSeedSynthesizer(model *bayesnet.Model, omegaLo, omegaHi int) (*SeedSynthesizer, error) {
+	m := len(model.Meta.Attrs)
+	if omegaLo < 1 || omegaHi > m || omegaLo > omegaHi {
+		return nil, fmt.Errorf("core: omega range [%d,%d] invalid for %d attributes", omegaLo, omegaHi, m)
+	}
+	return &SeedSynthesizer{Model: model, OmegaLo: omegaLo, OmegaHi: omegaHi}, nil
+}
+
+// Generate implements eq. (3): it copies the seed, then re-samples the last
+// ω attributes in σ order, each conditioned on the current (partially
+// updated) record.
+func (s *SeedSynthesizer) Generate(seed dataset.Record, r *rng.RNG) dataset.Record {
+	m := len(seed)
+	omega := s.OmegaLo + r.Intn(s.OmegaHi-s.OmegaLo+1)
+	rec := seed.Clone()
+	for idx := m - omega; idx < m; idx++ {
+		attr := s.Model.Struct.Order[idx]
+		rec[attr] = s.Model.SampleAttr(attr, rec, r)
+	}
+	return rec
+}
+
+// GenProb returns Pr{y = M(d)} exactly.
+//
+// For a fixed ω the probability factorizes as
+//
+//	[d and y agree on σ(1..m−ω)] · Π_{i>m−ω} Pr{y_σ(i) | parents(y)}
+//
+// because the copied attributes equal the seed's values and every
+// re-sampled conditional reads only attributes earlier in σ, whose values
+// in the partially updated record coincide with y's. For a random ω the
+// probability is the uniform mixture over the range, so different seeds —
+// agreeing with y on different σ-prefixes — genuinely fall into different
+// γ-partitions of the privacy test.
+func (s *SeedSynthesizer) GenProb(y, d dataset.Record) float64 {
+	return s.Prober(y)(d)
+}
+
+// Prober precomputes, for the fixed candidate y, the conditional tail
+// products and their partial mixture sums, so each seed evaluation costs
+// one σ-prefix comparison plus a table lookup.
+func (s *SeedSynthesizer) Prober(y dataset.Record) func(d dataset.Record) float64 {
+	m := len(y)
+	order := s.Model.Struct.Order
+	// tail[idx] = Π_{u=idx..m-1} Pr{y_σ(u) | y}; tail[m] = 1.
+	tail := make([]float64, m+1)
+	tail[m] = 1
+	for idx := m - 1; idx >= 0; idx-- {
+		attr := order[idx]
+		tail[idx] = tail[idx+1] * s.Model.CondProb(attr, y[attr], y)
+	}
+	// Keep positions idx = m−ω for ω ∈ [lo, hi] run over [m−hi, m−lo].
+	loIdx, hiIdx := m-s.OmegaHi, m-s.OmegaLo
+	// cum[j] = Σ_{idx=loIdx..j} tail[idx] for j in [loIdx, hiIdx].
+	cum := make([]float64, hiIdx+1)
+	run := 0.0
+	for j := loIdx; j <= hiIdx; j++ {
+		run += tail[j]
+		cum[j] = run
+	}
+	weight := 1 / float64(s.OmegaHi-s.OmegaLo+1)
+
+	return func(d dataset.Record) float64 {
+		// a = length of the σ-prefix on which d and y agree.
+		a := 0
+		for ; a < m; a++ {
+			if d[order[a]] != y[order[a]] {
+				break
+			}
+		}
+		// Seeds must agree on all kept attributes: m−ω ≤ a.
+		j := a
+		if j > hiIdx {
+			j = hiIdx
+		}
+		if j < loIdx {
+			return 0
+		}
+		return weight * cum[j]
+	}
+}
+
+// MarginalSynthesizer is the baseline of §3.2: every attribute is sampled
+// independently from its marginal distribution, ignoring the seed. Because
+// generation is seed-independent, every record of the input dataset is an
+// equally plausible seed and the privacy test always passes (§8).
+type MarginalSynthesizer struct {
+	Model *bayesnet.Model
+}
+
+// NewMarginalSynthesizer wraps a model learned over MarginalStructure. It
+// rejects models whose graph has edges, since then per-attribute sampling
+// would not be marginal sampling.
+func NewMarginalSynthesizer(model *bayesnet.Model) (*MarginalSynthesizer, error) {
+	if model.Struct.Graph.NumEdges() != 0 {
+		return nil, fmt.Errorf("core: marginal synthesizer requires an edgeless structure")
+	}
+	return &MarginalSynthesizer{Model: model}, nil
+}
+
+// Generate samples every attribute from its marginal; the seed is unused.
+func (s *MarginalSynthesizer) Generate(_ dataset.Record, r *rng.RNG) dataset.Record {
+	return s.Model.SampleRecord(r)
+}
+
+// GenProb returns Π_i Pr{y_i}, independent of the seed.
+func (s *MarginalSynthesizer) GenProb(y, _ dataset.Record) float64 {
+	p := 1.0
+	for attr := range s.Model.Meta.Attrs {
+		p *= s.Model.CondProb(attr, y[attr], y)
+	}
+	return p
+}
+
+// Prober returns a constant function: all seeds are equally plausible.
+func (s *MarginalSynthesizer) Prober(y dataset.Record) func(d dataset.Record) float64 {
+	p := s.GenProb(y, nil)
+	return func(dataset.Record) float64 { return p }
+}
+
+var (
+	_ Synthesizer = (*SeedSynthesizer)(nil)
+	_ Synthesizer = (*MarginalSynthesizer)(nil)
+)

@@ -1,0 +1,156 @@
+// Package dataset implements the tabular data substrate of the synthesis
+// framework: typed attributes, dataset metadata, compact record storage,
+// CSV input/output, the record-cleaning pipeline of §4 of the paper, and the
+// bucketization function bkt() of §3.3 used during structure learning.
+//
+// Records are stored as dense code vectors: each attribute has a finite
+// domain of string values and every cell holds the uint16 index of its value
+// in that domain. This is the same representation the paper's C++ tool uses
+// and it keeps multi-million-record datasets cheap to store and hash.
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind distinguishes how an attribute's values are interpreted. Both kinds
+// have finite discrete domains (the paper's ACS extract has only discrete
+// attributes); Numerical attributes additionally carry an integer
+// interpretation used by width-based bucketization.
+type Kind int
+
+const (
+	// Categorical attributes have an unordered finite domain.
+	Categorical Kind = iota
+	// Numerical attributes have a domain of consecutive integers.
+	Numerical
+)
+
+// String returns the metadata spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Numerical:
+		return "numerical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses the metadata spelling of a kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "categorical":
+		return Categorical, nil
+	case "numerical":
+		return Numerical, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown attribute kind %q", s)
+	}
+}
+
+// Attribute describes one column of a dataset: its name, kind and value
+// domain. The code of a value is its index in Values.
+type Attribute struct {
+	Name   string
+	Kind   Kind
+	Values []string
+
+	index map[string]uint16
+}
+
+// NewCategorical constructs a categorical attribute over the given values.
+func NewCategorical(name string, values ...string) Attribute {
+	a := Attribute{Name: name, Kind: Categorical, Values: values}
+	a.buildIndex()
+	return a
+}
+
+// NewNumerical constructs a numerical attribute whose domain is the
+// consecutive integers [min, max].
+func NewNumerical(name string, min, max int) Attribute {
+	if max < min {
+		panic(fmt.Sprintf("dataset: numerical attribute %q with max < min", name))
+	}
+	values := make([]string, 0, max-min+1)
+	for v := min; v <= max; v++ {
+		values = append(values, strconv.Itoa(v))
+	}
+	a := Attribute{Name: name, Kind: Numerical, Values: values}
+	a.buildIndex()
+	return a
+}
+
+func (a *Attribute) buildIndex() {
+	a.index = make(map[string]uint16, len(a.Values))
+	for i, v := range a.Values {
+		a.index[v] = uint16(i)
+	}
+}
+
+// Card returns the cardinality of the attribute's domain (|x| in the paper).
+func (a *Attribute) Card() int { return len(a.Values) }
+
+// Code returns the code of the given string value and whether it belongs to
+// the domain.
+func (a *Attribute) Code(value string) (uint16, bool) {
+	if a.index == nil {
+		a.buildIndex()
+	}
+	c, ok := a.index[value]
+	return c, ok
+}
+
+// Value returns the string value for a code. It panics if the code is out of
+// range.
+func (a *Attribute) Value(code uint16) string {
+	return a.Values[code]
+}
+
+// NumericValue returns the integer interpretation of a code for Numerical
+// attributes. For Categorical attributes it returns the code itself.
+func (a *Attribute) NumericValue(code uint16) int {
+	if a.Kind == Numerical {
+		v, err := strconv.Atoi(a.Values[code])
+		if err == nil {
+			return v
+		}
+	}
+	return int(code)
+}
+
+// Validate checks internal consistency of the attribute definition.
+func (a *Attribute) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("dataset: attribute with empty name")
+	}
+	if len(a.Values) == 0 {
+		return fmt.Errorf("dataset: attribute %q has an empty domain", a.Name)
+	}
+	if len(a.Values) > 1<<16 {
+		return fmt.Errorf("dataset: attribute %q domain exceeds %d values", a.Name, 1<<16)
+	}
+	seen := make(map[string]bool, len(a.Values))
+	for _, v := range a.Values {
+		if seen[v] {
+			return fmt.Errorf("dataset: attribute %q has duplicate value %q", a.Name, v)
+		}
+		seen[v] = true
+	}
+	if a.Kind == Numerical {
+		prev := 0
+		for i, v := range a.Values {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("dataset: numerical attribute %q has non-integer value %q", a.Name, v)
+			}
+			if i > 0 && n != prev+1 {
+				return fmt.Errorf("dataset: numerical attribute %q values not consecutive at %q", a.Name, v)
+			}
+			prev = n
+		}
+	}
+	return nil
+}

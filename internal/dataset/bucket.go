@@ -1,0 +1,127 @@
+package dataset
+
+import "fmt"
+
+// Bucketizer implements the discretizing function bkt() of §3.3: it maps
+// each attribute's codes onto a coarser set of bucket codes. Bucketization
+// is applied only while learning the model structure and while forming
+// parent configurations; record values themselves keep their full domains.
+//
+// A fresh Bucketizer is the identity on every attribute; SetWidth and
+// SetGroups install coarser mappings per attribute.
+type Bucketizer struct {
+	meta  *Metadata
+	maps  [][]uint16
+	cards []int
+}
+
+// NewBucketizer returns the identity bucketizer for the given schema.
+func NewBucketizer(meta *Metadata) *Bucketizer {
+	b := &Bucketizer{
+		meta:  meta,
+		maps:  make([][]uint16, len(meta.Attrs)),
+		cards: make([]int, len(meta.Attrs)),
+	}
+	for i := range meta.Attrs {
+		card := meta.Attrs[i].Card()
+		m := make([]uint16, card)
+		for c := range m {
+			m[c] = uint16(c)
+		}
+		b.maps[i] = m
+		b.cards[i] = card
+	}
+	return b
+}
+
+// SetWidth buckets a numerical attribute into fixed-width bins: codes whose
+// numeric values fall in [min, min+width) share bucket 0, and so on. The
+// paper buckets age into bins of 10 years and hours-worked-per-week into
+// bins of 15 hours this way.
+func (b *Bucketizer) SetWidth(attr int, width int) error {
+	if attr < 0 || attr >= len(b.maps) {
+		return fmt.Errorf("dataset: bucketizer attribute index %d out of range", attr)
+	}
+	a := &b.meta.Attrs[attr]
+	if a.Kind != Numerical {
+		return fmt.Errorf("dataset: SetWidth on non-numerical attribute %q", a.Name)
+	}
+	if width <= 0 {
+		return fmt.Errorf("dataset: SetWidth with non-positive width %d", width)
+	}
+	min := a.NumericValue(0)
+	m := make([]uint16, a.Card())
+	maxBucket := 0
+	for c := 0; c < a.Card(); c++ {
+		bkt := (a.NumericValue(uint16(c)) - min) / width
+		m[c] = uint16(bkt)
+		if bkt > maxBucket {
+			maxBucket = bkt
+		}
+	}
+	b.maps[attr] = m
+	b.cards[attr] = maxBucket + 1
+	return nil
+}
+
+// SetGroups buckets a categorical attribute by explicit value groups: each
+// inner slice of values is merged into one bucket; values not mentioned get
+// their own buckets after the groups, in domain order. The paper merges
+// education levels below a high-school diploma into one bucket and
+// "high-school but no college" into another.
+func (b *Bucketizer) SetGroups(attr int, groups [][]string) error {
+	if attr < 0 || attr >= len(b.maps) {
+		return fmt.Errorf("dataset: bucketizer attribute index %d out of range", attr)
+	}
+	a := &b.meta.Attrs[attr]
+	m := make([]uint16, a.Card())
+	assigned := make([]bool, a.Card())
+	for gi, group := range groups {
+		for _, val := range group {
+			code, ok := a.Code(val)
+			if !ok {
+				return fmt.Errorf("dataset: SetGroups: value %q not in domain of %q", val, a.Name)
+			}
+			if assigned[code] {
+				return fmt.Errorf("dataset: SetGroups: value %q assigned to two groups", val)
+			}
+			m[code] = uint16(gi)
+			assigned[code] = true
+		}
+	}
+	next := uint16(len(groups))
+	for c := 0; c < a.Card(); c++ {
+		if !assigned[c] {
+			m[c] = next
+			next++
+		}
+	}
+	b.maps[attr] = m
+	b.cards[attr] = int(next)
+	return nil
+}
+
+// Bucket returns the bucket code for the given attribute code.
+func (b *Bucketizer) Bucket(attr int, code uint16) uint16 {
+	return b.maps[attr][code]
+}
+
+// Card returns the number of buckets of the attribute (|bkt(x)| in eq. 6).
+func (b *Bucketizer) Card(attr int) int {
+	return b.cards[attr]
+}
+
+// BucketColumn maps a whole column of codes to bucket codes.
+func (b *Bucketizer) BucketColumn(attr int, col []uint16) []uint16 {
+	out := make([]uint16, len(col))
+	m := b.maps[attr]
+	for i, c := range col {
+		out[i] = m[c]
+	}
+	return out
+}
+
+// IsIdentity reports whether the attribute is unbucketized.
+func (b *Bucketizer) IsIdentity(attr int) bool {
+	return b.cards[attr] == b.meta.Attrs[attr].Card()
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// MissingMarkers are cell contents interpreted as missing values by the
+// cleaning pipeline (§4 discards records with missing or invalid values).
+var MissingMarkers = map[string]bool{
+	"":     true,
+	"?":    true,
+	"NA":   true,
+	"N/A":  true,
+	"na":   true,
+	"null": true,
+}
+
+// CleanStats summarizes the extraction/cleaning of a raw table into a coded
+// dataset. It reproduces the quantities of Table 2 of the paper.
+type CleanStats struct {
+	// Total is the number of data rows read (excluding the header).
+	Total int
+	// DroppedMissing counts rows discarded because of a missing marker.
+	DroppedMissing int
+	// DroppedInvalid counts rows discarded because a value was outside its
+	// attribute's domain.
+	DroppedInvalid int
+	// Clean is the number of rows retained.
+	Clean int
+	// Unique is the number of distinct retained rows.
+	Unique int
+	// PossibleRecords is the size of the record universe.
+	PossibleRecords float64
+}
+
+// String renders the statistics in the style of Table 2.
+func (s CleanStats) String() string {
+	return fmt.Sprintf("records %d (clean: %d, dropped missing: %d, dropped invalid: %d); unique %d (%.1f%%); possible records %.3g",
+		s.Total, s.Clean, s.DroppedMissing, s.DroppedInvalid, s.Unique,
+		100*float64(s.Unique)/max1(float64(s.Clean)), s.PossibleRecords)
+}
+
+func max1(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// ReadCSV decodes a CSV stream with a header row into a coded dataset,
+// applying the cleaning policy: rows containing missing markers or values
+// outside the metadata domains are dropped (counted in the returned stats).
+// The header must contain every metadata attribute; extra columns are
+// ignored, mirroring how the paper extracts a subset of ACS columns.
+func ReadCSV(r io.Reader, meta *Metadata) (*Dataset, CleanStats, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, CleanStats{}, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	colOf := make([]int, len(meta.Attrs))
+	for i := range meta.Attrs {
+		colOf[i] = -1
+		for j, h := range header {
+			if strings.TrimSpace(h) == meta.Attrs[i].Name {
+				colOf[i] = j
+				break
+			}
+		}
+		if colOf[i] < 0 {
+			return nil, CleanStats{}, fmt.Errorf("dataset: CSV header missing attribute %q", meta.Attrs[i].Name)
+		}
+	}
+
+	ds := New(meta)
+	var stats CleanStats
+rows:
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("dataset: reading CSV row %d: %w", stats.Total+2, err)
+		}
+		stats.Total++
+		rec := make(Record, len(meta.Attrs))
+		for i := range meta.Attrs {
+			if colOf[i] >= len(row) {
+				stats.DroppedMissing++
+				continue rows
+			}
+			cell := strings.TrimSpace(row[colOf[i]])
+			if MissingMarkers[cell] {
+				stats.DroppedMissing++
+				continue rows
+			}
+			code, ok := meta.Attrs[i].Code(cell)
+			if !ok {
+				stats.DroppedInvalid++
+				continue rows
+			}
+			rec[i] = code
+		}
+		ds.Append(rec)
+	}
+	stats.Clean = ds.Len()
+	stats.Unique = ds.UniqueCount()
+	stats.PossibleRecords = ds.PossibleRecords()
+	return ds, stats, nil
+}
+
+// WriteCSV encodes the dataset as CSV with a header row.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Meta.Names()); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, d.NumAttrs())
+	for _, rec := range d.Rows() {
+		for i, code := range rec {
+			row[i] = d.Meta.Attrs[i].Value(code)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

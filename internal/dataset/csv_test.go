@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVCleaning(t *testing.T) {
+	meta := testMeta(t)
+	csvData := `AGE,SEX,COLOR,EXTRA
+17,male,red,ignored
+18,female,blue,ignored
+,male,red,ignored
+19,?,green,ignored
+20,male,purple,ignored
+17,male,red,ignored
+`
+	ds, stats, err := ReadCSV(strings.NewReader(csvData), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != 6 {
+		t.Fatalf("Total = %d", stats.Total)
+	}
+	if stats.DroppedMissing != 2 {
+		t.Fatalf("DroppedMissing = %d, want 2", stats.DroppedMissing)
+	}
+	if stats.DroppedInvalid != 1 {
+		t.Fatalf("DroppedInvalid = %d, want 1", stats.DroppedInvalid)
+	}
+	if stats.Clean != 3 || ds.Len() != 3 {
+		t.Fatalf("Clean = %d, Len = %d, want 3", stats.Clean, ds.Len())
+	}
+	if stats.Unique != 2 {
+		t.Fatalf("Unique = %d, want 2", stats.Unique)
+	}
+	if stats.PossibleRecords != 60 {
+		t.Fatalf("PossibleRecords = %g, want 60", stats.PossibleRecords)
+	}
+	// First surviving row decodes correctly.
+	r := ds.Row(0)
+	if meta.Attrs[0].Value(r[0]) != "17" || meta.Attrs[1].Value(r[1]) != "male" || meta.Attrs[2].Value(r[2]) != "red" {
+		t.Fatalf("row decoded wrong: %v", r)
+	}
+}
+
+func TestReadCSVMissingColumn(t *testing.T) {
+	meta := testMeta(t)
+	_, _, err := ReadCSV(strings.NewReader("AGE,SEX\n17,male\n"), meta)
+	if err == nil {
+		t.Fatal("missing COLOR column accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	meta := testMeta(t)
+	d := New(meta)
+	d.Append(Record{0, 0, 0})
+	d.Append(Record{5, 1, 2})
+	var sb strings.Builder
+	if err := WriteCSV(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	back, stats, err := ReadCSV(strings.NewReader(sb.String()), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Clean != 2 || back.Len() != 2 {
+		t.Fatalf("round trip lost rows: %d", back.Len())
+	}
+	for i := range d.Rows() {
+		if !back.Row(i).Equal(d.Row(i)) {
+			t.Fatalf("row %d mismatch: %v vs %v", i, back.Row(i), d.Row(i))
+		}
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	meta := testMeta(t)
+	ds, stats, err := ReadCSV(strings.NewReader("AGE,SEX,COLOR\n"), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 0 || stats.Total != 0 {
+		t.Fatal("empty body should produce empty dataset")
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	meta := testMeta(t)
+	if _, _, err := ReadCSV(strings.NewReader(""), meta); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestBucketizerIdentityDefault(t *testing.T) {
+	meta := testMeta(t)
+	b := NewBucketizer(meta)
+	for a := range meta.Attrs {
+		if !b.IsIdentity(a) {
+			t.Fatalf("attribute %d not identity by default", a)
+		}
+		for c := 0; c < meta.Attrs[a].Card(); c++ {
+			if b.Bucket(a, uint16(c)) != uint16(c) {
+				t.Fatalf("identity violated at attr %d code %d", a, c)
+			}
+		}
+	}
+}
+
+func TestBucketizerWidth(t *testing.T) {
+	meta := testMeta(t)
+	b := NewBucketizer(meta)
+	if err := b.SetWidth(0, 5); err != nil { // ages 17..26 → buckets of 5 years
+		t.Fatal(err)
+	}
+	if b.Card(0) != 2 {
+		t.Fatalf("Card = %d, want 2", b.Card(0))
+	}
+	// 17..21 → bucket 0; 22..26 → bucket 1.
+	code21, _ := meta.Attrs[0].Code("21")
+	code22, _ := meta.Attrs[0].Code("22")
+	if b.Bucket(0, code21) != 0 || b.Bucket(0, code22) != 1 {
+		t.Fatalf("bucket boundaries wrong: 21→%d 22→%d", b.Bucket(0, code21), b.Bucket(0, code22))
+	}
+}
+
+func TestBucketizerWidthErrors(t *testing.T) {
+	b := NewBucketizer(testMeta(t))
+	if err := b.SetWidth(1, 2); err == nil {
+		t.Fatal("width bucketization of categorical attribute accepted")
+	}
+	if err := b.SetWidth(0, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if err := b.SetWidth(9, 2); err == nil {
+		t.Fatal("out-of-range attribute accepted")
+	}
+}
+
+func TestBucketizerGroups(t *testing.T) {
+	meta := testMeta(t)
+	b := NewBucketizer(meta)
+	if err := b.SetGroups(2, [][]string{{"red", "blue"}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Card(2) != 2 {
+		t.Fatalf("Card = %d, want 2 (merged + green)", b.Card(2))
+	}
+	red, _ := meta.Attrs[2].Code("red")
+	blue, _ := meta.Attrs[2].Code("blue")
+	green, _ := meta.Attrs[2].Code("green")
+	if b.Bucket(2, red) != b.Bucket(2, blue) {
+		t.Fatal("grouped values in different buckets")
+	}
+	if b.Bucket(2, green) == b.Bucket(2, red) {
+		t.Fatal("ungrouped value merged")
+	}
+}
+
+func TestBucketizerGroupErrors(t *testing.T) {
+	b := NewBucketizer(testMeta(t))
+	if err := b.SetGroups(2, [][]string{{"nope"}}); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if err := b.SetGroups(2, [][]string{{"red"}, {"red"}}); err == nil {
+		t.Fatal("double assignment accepted")
+	}
+}
+
+func TestBucketColumn(t *testing.T) {
+	meta := testMeta(t)
+	b := NewBucketizer(meta)
+	if err := b.SetWidth(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	col := []uint16{0, 4, 5, 9}
+	got := b.BucketColumn(0, col)
+	want := []uint16{0, 0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BucketColumn = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Record is one data row: Record[i] is the code of attribute i's value.
+type Record []uint16
+
+// Clone returns an independent copy of the record.
+func (r Record) Clone() Record {
+	out := make(Record, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports whether two records agree on every attribute.
+func (r Record) Equal(other Record) bool {
+	if len(r) != len(other) {
+		return false
+	}
+	for i := range r {
+		if r[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string key identifying the record's value
+// combination, suitable for map keys and configuration hashing.
+func (r Record) Key() string {
+	b := make([]byte, 2*len(r))
+	for i, v := range r {
+		b[2*i] = byte(v)
+		b[2*i+1] = byte(v >> 8)
+	}
+	return string(b)
+}
+
+// Dataset is an in-memory table of coded records sharing a Metadata.
+type Dataset struct {
+	Meta *Metadata
+	rows []Record
+}
+
+// New returns an empty dataset over the given metadata.
+func New(meta *Metadata) *Dataset {
+	return &Dataset{Meta: meta}
+}
+
+// FromRecords builds a dataset from pre-coded records. The records are not
+// copied.
+func FromRecords(meta *Metadata, rows []Record) *Dataset {
+	return &Dataset{Meta: meta, rows: rows}
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.rows) }
+
+// NumAttrs returns the number of attributes (m in the paper).
+func (d *Dataset) NumAttrs() int { return len(d.Meta.Attrs) }
+
+// Row returns the i-th record (not a copy).
+func (d *Dataset) Row(i int) Record { return d.rows[i] }
+
+// Rows returns the backing slice of records (not a copy).
+func (d *Dataset) Rows() []Record { return d.rows }
+
+// Append adds a record. It panics if the record width does not match the
+// metadata.
+func (d *Dataset) Append(r Record) {
+	if len(r) != d.NumAttrs() {
+		panic(fmt.Sprintf("dataset: record has %d attributes, metadata has %d", len(r), d.NumAttrs()))
+	}
+	d.rows = append(d.rows, r)
+}
+
+// Column extracts the codes of attribute a for all records.
+func (d *Dataset) Column(a int) []uint16 {
+	out := make([]uint16, len(d.rows))
+	for i, r := range d.rows {
+		out[i] = r[a]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the dataset (records are copied; metadata is
+// shared, as it is immutable by convention).
+func (d *Dataset) Clone() *Dataset {
+	rows := make([]Record, len(d.rows))
+	for i, r := range d.rows {
+		rows[i] = r.Clone()
+	}
+	return &Dataset{Meta: d.Meta, rows: rows}
+}
+
+// Shuffled returns a copy of the dataset with rows in random order.
+func (d *Dataset) Shuffled(r *rng.RNG) *Dataset {
+	out := &Dataset{Meta: d.Meta, rows: make([]Record, len(d.rows))}
+	copy(out.rows, d.rows)
+	r.Shuffle(len(out.rows), func(i, j int) {
+		out.rows[i], out.rows[j] = out.rows[j], out.rows[i]
+	})
+	return out
+}
+
+// Head returns a view of the first n records (or all of them if n exceeds
+// the length). The records are shared with the receiver.
+func (d *Dataset) Head(n int) *Dataset {
+	if n > len(d.rows) {
+		n = len(d.rows)
+	}
+	return &Dataset{Meta: d.Meta, rows: d.rows[:n]}
+}
+
+// Split partitions the dataset into disjoint parts with the given sizes, in
+// order. It returns an error if the sizes exceed the dataset length. The
+// paper splits D into DS (synthesis seeds), DT (structure learning) and DP
+// (parameter learning) this way (§3, §6.1).
+func (d *Dataset) Split(sizes ...int) ([]*Dataset, error) {
+	total := 0
+	for _, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("dataset: negative split size %d", s)
+		}
+		total += s
+	}
+	if total > len(d.rows) {
+		return nil, fmt.Errorf("dataset: split sizes sum to %d but dataset has %d records", total, len(d.rows))
+	}
+	parts := make([]*Dataset, len(sizes))
+	off := 0
+	for i, s := range sizes {
+		parts[i] = &Dataset{Meta: d.Meta, rows: d.rows[off : off+s]}
+		off += s
+	}
+	return parts, nil
+}
+
+// SplitFrac shuffles (with r) and partitions the dataset by fractions. Any
+// remainder goes to the last part.
+func (d *Dataset) SplitFrac(r *rng.RNG, fracs ...float64) ([]*Dataset, error) {
+	sum := 0.0
+	for _, f := range fracs {
+		if f < 0 {
+			return nil, fmt.Errorf("dataset: negative split fraction %g", f)
+		}
+		sum += f
+	}
+	if sum > 1+1e-9 {
+		return nil, fmt.Errorf("dataset: split fractions sum to %g > 1", sum)
+	}
+	sh := d.Shuffled(r)
+	sizes := make([]int, len(fracs))
+	used := 0
+	for i, f := range fracs {
+		sizes[i] = int(f * float64(len(d.rows)))
+		used += sizes[i]
+	}
+	if len(sizes) > 0 && sum > 1-1e-9 {
+		sizes[len(sizes)-1] += len(d.rows) - used
+	}
+	return sh.Split(sizes...)
+}
+
+// Sample returns n records drawn uniformly at random with replacement.
+func (d *Dataset) Sample(r *rng.RNG, n int) *Dataset {
+	rows := make([]Record, n)
+	for i := range rows {
+		rows[i] = d.rows[r.Intn(len(d.rows))]
+	}
+	return &Dataset{Meta: d.Meta, rows: rows}
+}
+
+// Subsample returns a dataset containing each record independently with
+// probability p (Poisson sampling, as used by the amplification theorem).
+func (d *Dataset) Subsample(r *rng.RNG, p float64) *Dataset {
+	out := &Dataset{Meta: d.Meta}
+	for _, row := range d.rows {
+		if r.Bool(p) {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+// UniqueCount returns the number of distinct records.
+func (d *Dataset) UniqueCount() int {
+	seen := make(map[string]struct{}, len(d.rows))
+	for _, r := range d.rows {
+		seen[r.Key()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// PossibleRecords returns the size of the record universe: the product of
+// all attribute cardinalities (≈ 5.4e11 for the paper's ACS extract).
+func (d *Dataset) PossibleRecords() float64 {
+	p := 1.0
+	for i := range d.Meta.Attrs {
+		p *= float64(d.Meta.Attrs[i].Card())
+	}
+	return p
+}
+
+// Validate checks that every record is within the metadata's domains.
+func (d *Dataset) Validate() error {
+	if err := d.Meta.Validate(); err != nil {
+		return err
+	}
+	for ri, r := range d.rows {
+		if len(r) != d.NumAttrs() {
+			return fmt.Errorf("dataset: record %d has %d attributes, want %d", ri, len(r), d.NumAttrs())
+		}
+		for a, code := range r {
+			if int(code) >= d.Meta.Attrs[a].Card() {
+				return fmt.Errorf("dataset: record %d attribute %q code %d out of range [0,%d)",
+					ri, d.Meta.Attrs[a].Name, code, d.Meta.Attrs[a].Card())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func testMeta(t testing.TB) *Metadata {
+	t.Helper()
+	m, err := NewMetadata(
+		NewNumerical("AGE", 17, 26),
+		NewCategorical("SEX", "male", "female"),
+		NewCategorical("COLOR", "red", "green", "blue"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAttributeCodes(t *testing.T) {
+	a := NewCategorical("X", "a", "b", "c")
+	for i, v := range []string{"a", "b", "c"} {
+		code, ok := a.Code(v)
+		if !ok || code != uint16(i) {
+			t.Fatalf("Code(%q) = %d, %v", v, code, ok)
+		}
+		if a.Value(code) != v {
+			t.Fatalf("Value(%d) = %q", code, a.Value(code))
+		}
+	}
+	if _, ok := a.Code("zzz"); ok {
+		t.Fatal("unknown value decoded")
+	}
+}
+
+func TestNumericalAttribute(t *testing.T) {
+	a := NewNumerical("AGE", 17, 96)
+	if a.Card() != 80 {
+		t.Fatalf("Card = %d, want 80", a.Card())
+	}
+	code, ok := a.Code("42")
+	if !ok {
+		t.Fatal("42 not in domain")
+	}
+	if a.NumericValue(code) != 42 {
+		t.Fatalf("NumericValue = %d", a.NumericValue(code))
+	}
+}
+
+func TestAttributeValidate(t *testing.T) {
+	cases := []Attribute{
+		{Name: "", Values: []string{"a"}},
+		{Name: "x", Values: nil},
+		{Name: "x", Values: []string{"a", "a"}},
+		{Name: "x", Kind: Numerical, Values: []string{"1", "3"}},
+		{Name: "x", Kind: Numerical, Values: []string{"1", "oops"}},
+	}
+	for i, a := range cases {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: invalid attribute validated", i)
+		}
+	}
+}
+
+func TestMetadataValidateDuplicateNames(t *testing.T) {
+	_, err := NewMetadata(NewCategorical("A", "x"), NewCategorical("A", "y"))
+	if err == nil {
+		t.Fatal("duplicate attribute names validated")
+	}
+}
+
+func TestDatasetAppendAndColumns(t *testing.T) {
+	d := New(testMeta(t))
+	d.Append(Record{0, 1, 2})
+	d.Append(Record{3, 0, 1})
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	col := d.Column(2)
+	if col[0] != 2 || col[1] != 1 {
+		t.Fatalf("Column(2) = %v", col)
+	}
+}
+
+func TestAppendPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad record width")
+		}
+	}()
+	New(testMeta(t)).Append(Record{0})
+}
+
+func TestRecordKeyInjective(t *testing.T) {
+	if err := quick.Check(func(a, b [4]uint16) bool {
+		ra := Record(a[:])
+		rb := Record(b[:])
+		return (ra.Key() == rb.Key()) == ra.Equal(rb)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitDisjointAndOrdered(t *testing.T) {
+	d := New(testMeta(t))
+	for i := 0; i < 10; i++ {
+		d.Append(Record{uint16(i % 10), uint16(i % 2), uint16(i % 3)})
+	}
+	parts, err := d.Split(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Len() != 3 || parts[1].Len() != 4 || parts[2].Len() != 2 {
+		t.Fatalf("split sizes wrong: %d %d %d", parts[0].Len(), parts[1].Len(), parts[2].Len())
+	}
+	if !parts[1].Row(0).Equal(d.Row(3)) {
+		t.Fatal("split not contiguous")
+	}
+	if _, err := d.Split(8, 8); err == nil {
+		t.Fatal("oversized split accepted")
+	}
+	if _, err := d.Split(-1); err == nil {
+		t.Fatal("negative split accepted")
+	}
+}
+
+func TestSplitFrac(t *testing.T) {
+	d := New(testMeta(t))
+	for i := 0; i < 100; i++ {
+		d.Append(Record{uint16(i % 10), uint16(i % 2), uint16(i % 3)})
+	}
+	parts, err := d.SplitFrac(rng.New(1), 0.2, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != 100 {
+		t.Fatalf("fractions lost records: %d", total)
+	}
+	if _, err := d.SplitFrac(rng.New(1), 0.9, 0.9); err == nil {
+		t.Fatal("fractions > 1 accepted")
+	}
+}
+
+func TestUniqueCount(t *testing.T) {
+	d := New(testMeta(t))
+	d.Append(Record{1, 0, 0})
+	d.Append(Record{1, 0, 0})
+	d.Append(Record{2, 0, 0})
+	if got := d.UniqueCount(); got != 2 {
+		t.Fatalf("UniqueCount = %d, want 2", got)
+	}
+}
+
+func TestPossibleRecords(t *testing.T) {
+	d := New(testMeta(t))
+	if got := d.PossibleRecords(); got != 10*2*3 {
+		t.Fatalf("PossibleRecords = %g, want 60", got)
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	d := New(testMeta(t))
+	d.Append(Record{0, 9, 0}) // SEX code 9 invalid
+	if err := d.Validate(); err == nil {
+		t.Fatal("out-of-range code validated")
+	}
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	d := New(testMeta(t))
+	for i := 0; i < 50; i++ {
+		d.Append(Record{uint16(i % 10), uint16(i % 2), uint16(i % 3)})
+	}
+	sh := d.Shuffled(rng.New(5))
+	if sh.Len() != d.Len() {
+		t.Fatal("shuffle changed length")
+	}
+	count := func(ds *Dataset) map[string]int {
+		m := map[string]int{}
+		for _, r := range ds.Rows() {
+			m[r.Key()]++
+		}
+		return m
+	}
+	a, b := count(d), count(sh)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("shuffle changed record multiset")
+		}
+	}
+}
+
+func TestSubsampleProbability(t *testing.T) {
+	d := New(testMeta(t))
+	for i := 0; i < 20000; i++ {
+		d.Append(Record{0, 0, 0})
+	}
+	sub := d.Subsample(rng.New(3), 0.25)
+	got := float64(sub.Len()) / float64(d.Len())
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("subsample kept %.3f, want ~0.25", got)
+	}
+}
+
+func TestMetadataSpecRoundTrip(t *testing.T) {
+	m := testMeta(t)
+	var sb strings.Builder
+	if err := m.WriteSpec(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpec(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Attrs) != len(m.Attrs) {
+		t.Fatalf("attr count mismatch: %d vs %d", len(back.Attrs), len(m.Attrs))
+	}
+	for i := range m.Attrs {
+		if back.Attrs[i].Name != m.Attrs[i].Name ||
+			back.Attrs[i].Kind != m.Attrs[i].Kind ||
+			back.Attrs[i].Card() != m.Attrs[i].Card() {
+			t.Fatalf("attribute %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestMetadataJSONRoundTrip(t *testing.T) {
+	m := testMeta(t)
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Attrs {
+		if back.Attrs[i].Name != m.Attrs[i].Name || back.Attrs[i].Card() != m.Attrs[i].Card() {
+			t.Fatalf("attribute %d mismatch after JSON round trip", i)
+		}
+	}
+}
+
+func TestReadSpecErrors(t *testing.T) {
+	cases := []string{
+		"noseparators",
+		"name|weirdkind|a,b",
+		"name|numerical|1..x",
+		"a|categorical|x,x", // duplicate values
+	}
+	for _, c := range cases {
+		if _, err := ReadSpec(strings.NewReader(c)); err == nil {
+			t.Errorf("spec %q accepted", c)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metadata describes the schema of a dataset: the ordered list of attributes
+// with their kinds and domains. It corresponds to the "metadata text files
+// describing the dataset" consumed by the paper's tool (§5).
+type Metadata struct {
+	Attrs []Attribute
+}
+
+// NewMetadata builds a metadata object and validates it.
+func NewMetadata(attrs ...Attribute) (*Metadata, error) {
+	m := &Metadata{Attrs: attrs}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustMetadata is NewMetadata that panics on error; for static schemas.
+func MustMetadata(attrs ...Attribute) *Metadata {
+	m, err := NewMetadata(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Validate checks the schema for duplicate names and invalid attributes.
+func (m *Metadata) Validate() error {
+	if len(m.Attrs) == 0 {
+		return fmt.Errorf("dataset: metadata has no attributes")
+	}
+	names := make(map[string]bool, len(m.Attrs))
+	for i := range m.Attrs {
+		if err := m.Attrs[i].Validate(); err != nil {
+			return err
+		}
+		if names[m.Attrs[i].Name] {
+			return fmt.Errorf("dataset: duplicate attribute name %q", m.Attrs[i].Name)
+		}
+		names[m.Attrs[i].Name] = true
+	}
+	return nil
+}
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (m *Metadata) AttrIndex(name string) int {
+	for i := range m.Attrs {
+		if m.Attrs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the attribute names in order.
+func (m *Metadata) Names() []string {
+	out := make([]string, len(m.Attrs))
+	for i := range m.Attrs {
+		out[i] = m.Attrs[i].Name
+	}
+	return out
+}
+
+// jsonAttr is the serialized form of an attribute.
+type jsonAttr struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Values []string `json:"values"`
+}
+
+// WriteJSON serializes the metadata as JSON.
+func (m *Metadata) WriteJSON(w io.Writer) error {
+	attrs := make([]jsonAttr, len(m.Attrs))
+	for i := range m.Attrs {
+		attrs[i] = jsonAttr{
+			Name:   m.Attrs[i].Name,
+			Kind:   m.Attrs[i].Kind.String(),
+			Values: m.Attrs[i].Values,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(attrs)
+}
+
+// ReadJSON parses metadata from its JSON serialization.
+func ReadJSON(r io.Reader) (*Metadata, error) {
+	var attrs []jsonAttr
+	if err := json.NewDecoder(r).Decode(&attrs); err != nil {
+		return nil, fmt.Errorf("dataset: parsing metadata JSON: %w", err)
+	}
+	m := &Metadata{}
+	for _, ja := range attrs {
+		kind, err := ParseKind(ja.Kind)
+		if err != nil {
+			return nil, err
+		}
+		a := Attribute{Name: ja.Name, Kind: kind, Values: ja.Values}
+		a.buildIndex()
+		m.Attrs = append(m.Attrs, a)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteSpec writes the metadata in the tool's line-oriented text format:
+//
+//	name|kind|value1,value2,...
+//
+// Numerical attributes may abbreviate consecutive domains as "min..max".
+func (m *Metadata) WriteSpec(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range m.Attrs {
+		a := &m.Attrs[i]
+		var domain string
+		if a.Kind == Numerical {
+			domain = fmt.Sprintf("%s..%s", a.Values[0], a.Values[len(a.Values)-1])
+		} else {
+			domain = strings.Join(a.Values, ",")
+		}
+		if _, err := fmt.Fprintf(bw, "%s|%s|%s\n", a.Name, a.Kind, domain); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpec parses the line-oriented metadata format written by WriteSpec.
+func ReadSpec(r io.Reader) (*Metadata, error) {
+	m := &Metadata{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "|", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("dataset: metadata line %d: want name|kind|values, got %q", line, text)
+		}
+		kind, err := ParseKind(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: metadata line %d: %w", line, err)
+		}
+		name := strings.TrimSpace(parts[0])
+		domain := strings.TrimSpace(parts[2])
+		var attr Attribute
+		if kind == Numerical && strings.Contains(domain, "..") {
+			var lo, hi int
+			if _, err := fmt.Sscanf(domain, "%d..%d", &lo, &hi); err != nil {
+				return nil, fmt.Errorf("dataset: metadata line %d: bad numeric range %q", line, domain)
+			}
+			attr = NewNumerical(name, lo, hi)
+		} else {
+			values := strings.Split(domain, ",")
+			for i := range values {
+				values[i] = strings.TrimSpace(values[i])
+			}
+			attr = Attribute{Name: name, Kind: kind, Values: values}
+			attr.buildIndex()
+		}
+		m.Attrs = append(m.Attrs, attr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading metadata: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

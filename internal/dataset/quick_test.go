@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestQuickBucketizerInvariants: for random width bucketizations, bucket
+// codes stay within [0, Card), the mapping is monotone non-decreasing over
+// numeric codes, and every bucket index below Card is hit.
+func TestQuickBucketizerInvariants(t *testing.T) {
+	f := func(loBits, spanBits, widthBits uint8) bool {
+		lo := int(loBits % 50)
+		hi := lo + 1 + int(spanBits%100)
+		width := 1 + int(widthBits%20)
+		meta := MustMetadata(NewNumerical("X", lo, hi))
+		b := NewBucketizer(meta)
+		if err := b.SetWidth(0, width); err != nil {
+			return false
+		}
+		card := b.Card(0)
+		prev := uint16(0)
+		seen := make([]bool, card)
+		for c := 0; c < meta.Attrs[0].Card(); c++ {
+			bc := b.Bucket(0, uint16(c))
+			if int(bc) >= card {
+				return false
+			}
+			if bc < prev {
+				return false // monotonicity over the numeric order
+			}
+			prev = bc
+			seen[bc] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false // no empty buckets
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordCloneIndependent: mutating a clone never affects the
+// original.
+func TestQuickRecordCloneIndependent(t *testing.T) {
+	f := func(vals [6]uint16, idx uint8) bool {
+		r := Record(vals[:])
+		c := r.Clone()
+		i := int(idx) % len(c)
+		c[i]++
+		return !r.Equal(c) && r[i] == vals[i]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitPartition: random split sizes either error or produce a
+// partition whose parts concatenate back to the original rows.
+func TestQuickSplitPartition(t *testing.T) {
+	meta := MustMetadata(NewCategorical("A", "x", "y", "z"))
+	r := rng.New(9)
+	ds := New(meta)
+	for i := 0; i < 100; i++ {
+		ds.Append(Record{uint16(r.Intn(3))})
+	}
+	f := func(a, b, c uint8) bool {
+		sizes := []int{int(a % 60), int(b % 60), int(c % 60)}
+		total := sizes[0] + sizes[1] + sizes[2]
+		parts, err := ds.Split(sizes...)
+		if total > ds.Len() {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		pos := 0
+		for pi, p := range parts {
+			if p.Len() != sizes[pi] {
+				return false
+			}
+			for _, rec := range p.Rows() {
+				if !rec.Equal(ds.Row(pos)) {
+					return false
+				}
+				pos++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

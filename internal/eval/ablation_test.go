@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSeedInference(t *testing.T) {
+	p := testPipeline(t)
+	res, err := RunSeedInference(p, OmegaSpec{9, 9}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Released+res.Rejected != res.Candidates {
+		t.Fatalf("group counts %d+%d != %d", res.Released, res.Rejected, res.Candidates)
+	}
+	if res.Released == 0 {
+		t.Fatal("no released candidates; attack experiment vacuous")
+	}
+	// The core privacy claim, verified adversarially: on released records
+	// the ML adversary's success must be near or below the 1/k deniability
+	// bound (2/k allows for unequal partition occupancy).
+	if res.SuccessReleased > 2*res.BoundReleased {
+		t.Errorf("attack success %.4f on released records far exceeds bound %.4f",
+			res.SuccessReleased, res.BoundReleased)
+	}
+	// Rejected records are exactly the dangerous ones.
+	if res.Rejected > 10 && res.SuccessRejected < res.SuccessReleased {
+		t.Errorf("rejected records (%.4f) should be easier to attack than released (%.4f)",
+			res.SuccessRejected, res.SuccessReleased)
+	}
+	if !strings.Contains(res.Render(), "Seed-inference") {
+		t.Fatal("render output malformed")
+	}
+}
+
+func TestSigmaOrderAblation(t *testing.T) {
+	p := testPipeline(t)
+	res, err := RunSigmaOrderAblation(p, OmegaSpec{9, 9}, 20, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cardinality-preferring order must pass at least as often as the
+	// index order (that is the point of the design choice).
+	if res.PassRateCardinality < res.PassRateIndexOrdered-0.05 {
+		t.Errorf("cardinality order pass rate %.3f below index order %.3f",
+			res.PassRateCardinality, res.PassRateIndexOrdered)
+	}
+	if !strings.Contains(res.Render(), "sigma order") {
+		t.Fatal("render output malformed")
+	}
+}
+
+func TestMaxCostAblation(t *testing.T) {
+	p := testPipeline(t)
+	res, err := RunMaxCostAblation(p, []float64{4, 64}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PairTVDPlain) != 2 || len(res.PairTVDDP) != 2 {
+		t.Fatalf("result vectors wrong length: %+v", res)
+	}
+	for i := range res.MaxCosts {
+		if res.PairTVDPlain[i] <= 0 || res.PairTVDPlain[i] > 1 {
+			t.Errorf("implausible TVD %.4f", res.PairTVDPlain[i])
+		}
+		// DP noise can only hurt (statistically); allow small slack.
+		if res.PairTVDDP[i] < res.PairTVDPlain[i]-0.02 {
+			t.Errorf("maxcost %.0f: DP model (%.4f) better than un-noised (%.4f)",
+				res.MaxCosts[i], res.PairTVDDP[i], res.PairTVDPlain[i])
+		}
+	}
+	if !strings.Contains(res.Render(), "maxcost") {
+		t.Fatal("render output malformed")
+	}
+}
+
+func TestParamModeAblation(t *testing.T) {
+	p := testPipeline(t)
+	res, err := RunParamModeAblation(p, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueFracMAP <= 0 || res.UniqueFracSampled <= 0 {
+		t.Fatal("unique fractions not measured")
+	}
+	if res.PairTVDMAP <= 0 || res.PairTVDSampled <= 0 {
+		t.Fatal("TVDs not measured")
+	}
+	if !strings.Contains(res.Render(), "parameter mode") {
+		t.Fatal("render output malformed")
+	}
+}

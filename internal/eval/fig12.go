@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/bayesnet"
+	"repro/internal/ml"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// Fig12Result holds the per-attribute model accuracies of Figures 1 and 2.
+type Fig12Result struct {
+	AttrNames []string
+	// Figure 1: relative improvement of model accuracy over marginals (in
+	// percent) for the un-noised, ε=1-DP and ε=0.1-DP generative models.
+	ImprovNoNoise []float64
+	ImprovEps1    []float64
+	ImprovEps01   []float64
+	// Figure 2: absolute accuracy of the (un-noised) generative model, a
+	// random forest, the marginals, and random guessing.
+	AccGenerative []float64
+	AccRF         []float64
+	AccMarginals  []float64
+	AccRandom     []float64
+}
+
+// RunFig12 reproduces §6.2's model-accuracy probe: for each attribute,
+// repeatedly take a test record and ask the model for the most likely value
+// of that attribute given all the others (exact Markov-blanket inference);
+// the error is the fraction of wrong predictions. DP models are re-learned
+// `reps` times with fresh noise and averaged, as in the paper (20 reps).
+func RunFig12(p *Pipeline, reps, probes int) (*Fig12Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if probes <= 0 || probes > p.Test.Len() {
+		probes = p.Test.Len()
+	}
+	m := len(p.Meta.Attrs)
+	res := &Fig12Result{
+		AttrNames:     p.Meta.Names(),
+		ImprovNoNoise: make([]float64, m),
+		ImprovEps1:    make([]float64, m),
+		ImprovEps01:   make([]float64, m),
+		AccGenerative: make([]float64, m),
+		AccRF:         make([]float64, m),
+		AccMarginals:  make([]float64, m),
+		AccRandom:     make([]float64, m),
+	}
+
+	r := rng.New(p.Cfg.Seed + 0xf1f2)
+	probeSet := p.Test.Shuffled(r).Head(probes)
+
+	// Marginal accuracy: the best constant guess per attribute.
+	margAcc := make([]float64, m)
+	for a := 0; a < m; a++ {
+		dist := p.MarginalModel.MarginalDist(a)
+		best := 0
+		for v := range dist {
+			if dist[v] > dist[best] {
+				best = v
+			}
+		}
+		correct := 0
+		for _, rec := range probeSet.Rows() {
+			if int(rec[a]) == best {
+				correct++
+			}
+		}
+		margAcc[a] = float64(correct) / float64(probeSet.Len())
+		res.AccMarginals[a] = margAcc[a]
+		res.AccRandom[a] = 1 / float64(p.Meta.Attrs[a].Card())
+	}
+
+	// Model accuracy at each noise level, averaged over reps.
+	accAt := func(dp bool, eps float64, rep int) ([]float64, error) {
+		st := p.Structure
+		model := p.Model
+		if !dp || eps != p.Cfg.ModelEps || rep > 0 {
+			var err error
+			st, model, err = p.learnModelVariant(dp, eps, uint64(rep))
+			if err != nil {
+				return nil, err
+			}
+		}
+		_ = st
+		acc := make([]float64, m)
+		for a := 0; a < m; a++ {
+			correct := 0
+			for _, rec := range probeSet.Rows() {
+				if model.MostLikely(a, rec) == rec[a] {
+					correct++
+				}
+			}
+			acc[a] = float64(correct) / float64(probeSet.Len())
+		}
+		return acc, nil
+	}
+
+	average := func(dp bool, eps float64, nreps int) ([]float64, error) {
+		sum := make([]float64, m)
+		for rep := 0; rep < nreps; rep++ {
+			acc, err := accAt(dp, eps, rep)
+			if err != nil {
+				return nil, err
+			}
+			for a := range sum {
+				sum[a] += acc[a]
+			}
+		}
+		for a := range sum {
+			sum[a] /= float64(nreps)
+		}
+		return sum, nil
+	}
+
+	accPlain, err := average(false, 0, 1) // un-noised: deterministic, 1 rep
+	if err != nil {
+		return nil, err
+	}
+	accEps1, err := average(true, 1, reps)
+	if err != nil {
+		return nil, err
+	}
+	accEps01, err := average(true, 0.1, reps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Relative improvement of model accuracy over marginals, measured as
+	// the relative decrease in model error (Fig. 1).
+	relImprove := func(acc, base float64) float64 {
+		errBase := 1 - base
+		if errBase <= 0 {
+			return 0
+		}
+		return 100 * (acc - base) / errBase
+	}
+	for a := 0; a < m; a++ {
+		res.ImprovNoNoise[a] = relImprove(accPlain[a], margAcc[a])
+		res.ImprovEps1[a] = relImprove(accEps1[a], margAcc[a])
+		res.ImprovEps01[a] = relImprove(accEps01[a], margAcc[a])
+		res.AccGenerative[a] = accPlain[a]
+	}
+
+	// Figure 2's random forest: one per attribute, trained on the same
+	// data the generative model saw (DT ∪ DP equivalent: use DP).
+	for a := 0; a < m; a++ {
+		prob, err := ml.FromDataset(p.DP, a)
+		if err != nil {
+			return nil, err
+		}
+		forest, err := ml.TrainForest(prob, ml.ForestConfig{
+			Trees: 24, MaxDepth: 14, Seed: p.Cfg.Seed + uint64(a),
+		})
+		if err != nil {
+			return nil, err
+		}
+		testProb, err := ml.FromDataset(probeSet, a)
+		if err != nil {
+			return nil, err
+		}
+		res.AccRF[a] = ml.Accuracy(forest, testProb)
+	}
+	return res, nil
+}
+
+// learnModelVariant learns a fresh structure+model at the given noise level
+// (dp=false means un-noised), with rep-dependent noise streams.
+func (p *Pipeline) learnModelVariant(dp bool, eps float64, rep uint64) (*bayesnet.Structure, *bayesnet.Model, error) {
+	scfg := bayesnet.StructureConfig{MaxCost: p.Cfg.MaxCost, MinCorr: 0.01}
+	mcfg := bayesnet.ModelConfig{Alpha: 1, Mode: bayesnet.MAPEstimate}
+	if dp {
+		budgets, err := privacyBudgetsFor(len(p.Meta.Attrs), eps, p.Cfg.ModelDelta)
+		if err != nil {
+			return nil, nil, err
+		}
+		scfg.DP = true
+		scfg.EpsH = budgets.EpsH
+		scfg.EpsN = budgets.EpsN
+		scfg.Rng = rng.NewHashed("fig1-structure", fmt.Sprint(eps), fmt.Sprint(rep), fmt.Sprint(p.Cfg.Seed))
+		mcfg.DP = true
+		mcfg.EpsP = budgets.EpsP
+		mcfg.NoiseKey = fmt.Sprintf("fig1-model-%g-%d-%d", eps, rep, p.Cfg.Seed)
+	}
+	st, err := bayesnet.LearnStructure(p.DT, p.Bkt, scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := bayesnet.LearnModel(p.DP, p.Bkt, st, mcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, model, nil
+}
+
+// privacyBudgetsFor memoizes nothing and simply calibrates; split out so
+// the Fig. 1 variants can request arbitrary ε levels.
+func privacyBudgetsFor(m int, eps, delta float64) (privacy.ModelNoiseBudgets, error) {
+	return privacy.CalibrateModel(m, eps, delta)
+}

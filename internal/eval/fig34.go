@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// DistanceResult holds the Figure 3 (single attributes) and Figure 4 (pairs
+// of attributes) statistical-distance box-plot summaries: for each series,
+// the five-number summary of the total variation distances between the
+// reference reals and the compared dataset, over all attributes (Fig. 3)
+// or all attribute pairs (Fig. 4).
+type DistanceResult struct {
+	Series  []string
+	Singles map[string]stats.FiveNumber
+	Pairs   map[string]stats.FiveNumber
+}
+
+// RunFig34 reproduces §6.2's distributional comparison. The test reals are
+// split in two halves; the first half is the reference. The "Reals" series
+// compares it against the second half (the noise floor of the metric); the
+// other series compare it against marginals and each ω synthetic dataset.
+func RunFig34(p *Pipeline) (*DistanceResult, error) {
+	half := p.Test.Len() / 2
+	if half < 10 {
+		return nil, fmt.Errorf("eval: test split too small for distance comparison (%d)", p.Test.Len())
+	}
+	sh := p.Test.Shuffled(rng.New(p.Cfg.Seed + 0x34))
+	ref, err := sh.Split(half, half)
+	if err != nil {
+		return nil, err
+	}
+	reference, otherReals := ref[0], ref[1]
+
+	res := &DistanceResult{
+		Singles: map[string]stats.FiveNumber{},
+		Pairs:   map[string]stats.FiveNumber{},
+	}
+	addSeries := func(name string, ds *dataset.Dataset) {
+		res.Series = append(res.Series, name)
+		res.Singles[name] = stats.Summarize(singleDistances(reference, ds))
+		res.Pairs[name] = stats.Summarize(pairDistances(reference, ds))
+	}
+
+	addSeries("Reals", otherReals)
+	addSeries("Marginals", p.Marginals)
+	for _, om := range p.Cfg.Omegas {
+		addSeries(om.Name(), p.Synths[om.Name()])
+	}
+	return res, nil
+}
+
+// singleDistances returns the TVD of each attribute's distribution between
+// the two datasets.
+func singleDistances(a, b *dataset.Dataset) []float64 {
+	m := a.NumAttrs()
+	out := make([]float64, 0, m)
+	for attr := 0; attr < m; attr++ {
+		card := a.Meta.Attrs[attr].Card()
+		da := stats.FromColumn(a.Column(attr), card)
+		db := stats.FromColumn(b.Column(attr), card)
+		out = append(out, stats.TotalVariation(da.Probs(), db.Probs()))
+	}
+	return out
+}
+
+// pairDistances returns the TVD of each attribute pair's joint distribution
+// between the two datasets.
+func pairDistances(a, b *dataset.Dataset) []float64 {
+	m := a.NumAttrs()
+	var out []float64
+	for i := 0; i < m; i++ {
+		cardI := a.Meta.Attrs[i].Card()
+		colAI, colBI := a.Column(i), b.Column(i)
+		for j := i + 1; j < m; j++ {
+			cardJ := a.Meta.Attrs[j].Card()
+			ja := stats.FromColumns(colAI, cardI, a.Column(j), cardJ)
+			jb := stats.FromColumns(colBI, cardI, b.Column(j), cardJ)
+			out = append(out, stats.TotalVariation(ja.Flatten(), jb.Flatten()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// RenderTable lays out rows under headers with aligned columns, in the
+// plain-text style used by EXPERIMENTS.md and cmd/experiments.
+func RenderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", 100*v) }
+func pctS(v float64) string { return fmt.Sprintf("%+.1f%%", v) }
+
+// Render formats the Figure 1 series.
+func (r *Fig12Result) RenderFig1() string {
+	rows := make([][]string, len(r.AttrNames))
+	for i, name := range r.AttrNames {
+		rows[i] = []string{
+			name,
+			pctS(r.ImprovNoNoise[i]),
+			pctS(r.ImprovEps1[i]),
+			pctS(r.ImprovEps01[i]),
+		}
+	}
+	return "Figure 1: relative improvement of model accuracy over marginals\n" +
+		RenderTable([]string{"Attribute", "NoNoise", "eps=1", "eps=0.1"}, rows)
+}
+
+// RenderFig2 formats the Figure 2 series.
+func (r *Fig12Result) RenderFig2() string {
+	rows := make([][]string, len(r.AttrNames))
+	for i, name := range r.AttrNames {
+		rows[i] = []string{
+			name,
+			pct(r.AccGenerative[i]),
+			pct(r.AccRF[i]),
+			pct(r.AccMarginals[i]),
+			pct(r.AccRandom[i]),
+		}
+	}
+	return "Figure 2: model accuracy per attribute\n" +
+		RenderTable([]string{"Attribute", "Generative", "RandomForest", "Marginals", "Random"}, rows)
+}
+
+// Render formats the Figures 3 and 4 five-number summaries.
+func (r *DistanceResult) Render() string {
+	mk := func(title string, data map[string]stats.FiveNumber) string {
+		rows := make([][]string, 0, len(r.Series))
+		for _, s := range r.Series {
+			f := data[s]
+			rows = append(rows, []string{
+				s,
+				fmt.Sprintf("%.4f", f.Min),
+				fmt.Sprintf("%.4f", f.Q1),
+				fmt.Sprintf("%.4f", f.Median),
+				fmt.Sprintf("%.4f", f.Q3),
+				fmt.Sprintf("%.4f", f.Max),
+			})
+		}
+		return title + "\n" + RenderTable([]string{"Series", "Min", "Q1", "Median", "Q3", "Max"}, rows)
+	}
+	return mk("Figure 3: statistical distance, single attributes", r.Singles) +
+		"\n" + mk("Figure 4: statistical distance, attribute pairs", r.Pairs)
+}
+
+// Render formats the Figure 5 timing series.
+func (r *PerfResult) Render() string {
+	rows := make([][]string, len(r.Counts))
+	for i, n := range r.Counts {
+		rows[i] = []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2fs", r.SynthTimes[i].Seconds()),
+			fmt.Sprintf("%d", r.Released[i]),
+		}
+	}
+	return fmt.Sprintf("Figure 5: generation performance (model learning: %.2fs)\n", r.ModelLearn.Seconds()) +
+		RenderTable([]string{"Candidates", "SynthesisTime", "Released"}, rows)
+}
+
+// Render formats the Figure 6 pass-rate series.
+func (r *PassRateResult) Render() string {
+	headers := []string{"k"}
+	for _, om := range r.Omegas {
+		headers = append(headers, om.Name())
+	}
+	rows := make([][]string, len(r.Ks))
+	for ki, k := range r.Ks {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, om := range r.Omegas {
+			row = append(row, pct(r.Rates[om.Name()][ki]))
+		}
+		rows[ki] = row
+	}
+	return "Figure 6: percentage of candidates passing the privacy test (gamma=2)\n" +
+		RenderTable(headers, rows)
+}
+
+// Render formats Table 3.
+func (r *Table3Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Name,
+			pct(row.AccTree), pct(row.AccRF), pct(row.AccAda),
+			pct(row.AgrTree), pct(row.AgrRF), pct(row.AgrAda),
+		}
+	}
+	return fmt.Sprintf("Table 3: classifier comparison (majority baseline %.1f%%)\n", 100*r.Baseline) +
+		RenderTable([]string{"TrainedOn", "AccTree", "AccRF", "AccAda", "AgrTree", "AgrRF", "AgrAda"}, rows)
+}
+
+// Render formats Table 4.
+func (r *Table4Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row.Name, pct(row.AccLR), pct(row.AccSVM)}
+	}
+	return fmt.Sprintf("Table 4: privacy-preserving classifier comparison (lambda=%g, eps=1)\n", r.Lambda) +
+		RenderTable([]string{"Regime", "LR", "SVM"}, rows)
+}
+
+// Render formats Table 5.
+func (r *Table5Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{row.Name, pct(row.AccRF), pct(row.AccTree)}
+	}
+	return "Table 5: distinguishing game (accuracy of separating synthetics from reals)\n" +
+		RenderTable([]string{"Dataset", "RF", "Tree"}, rows)
+}

@@ -1,0 +1,353 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/acs"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// RunTable2 reproduces the extraction/cleaning statistics of Table 2 by
+// exporting a dirty raw file from the simulator and running the §4
+// cleaning pipeline on it.
+func RunTable2(n int, seed uint64) (dataset.CleanStats, error) {
+	pop := acs.NewPopulation()
+	var buf bytes.Buffer
+	if err := acs.WriteDirtyCSV(&buf, pop, rng.New(seed), n, acs.DefaultDirtyConfig()); err != nil {
+		return dataset.CleanStats{}, err
+	}
+	_, stats, err := dataset.ReadCSV(&buf, pop.Meta())
+	return stats, err
+}
+
+// Table3Row is one row of Table 3: a training dataset and the accuracy and
+// agreement rate of the three tree-family classifiers trained on it.
+type Table3Row struct {
+	Name                   string
+	AccTree, AccRF, AccAda float64
+	AgrTree, AgrRF, AgrAda float64
+}
+
+// Table3Result holds all rows plus the majority baseline for reference.
+type Table3Result struct {
+	Rows     []Table3Row
+	Baseline float64
+}
+
+// RunTable3 reproduces Table 3: Tree/RF/AdaBoostM1 trained on reals,
+// marginals and each synthetic variant; accuracy on held-out reals and
+// agreement with the reals-trained classifier of the same family, averaged
+// over `reps` runs with fresh train/test resamples (the paper averages 5).
+func RunTable3(p *Pipeline, reps int) (*Table3Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	target := p.Meta.AttrIndex("WAGP")
+	r := rng.New(p.Cfg.Seed + 0x7a3)
+
+	type trainSet struct {
+		name string
+		data *dataset.Dataset
+	}
+	sets := []trainSet{{"Reals", nil}, {"Marginals", p.Marginals}}
+	for _, om := range p.Cfg.Omegas {
+		sets = append(sets, trainSet{om.Name(), p.Synths[om.Name()]})
+	}
+
+	sums := make([]Table3Row, len(sets))
+	for i := range sums {
+		sums[i].Name = sets[i].name
+	}
+	baselineSum := 0.0
+
+	for rep := 0; rep < reps; rep++ {
+		// Fresh real train sample and disjoint test sample per run.
+		shuffled := p.Test.Shuffled(r.Split())
+		nTest := shuffled.Len() * 3 / 10
+		testDS := shuffled.Head(nTest)
+		testProb, err := ml.FromDataset(testDS, target)
+		if err != nil {
+			return nil, err
+		}
+		realTrain := p.DS.Shuffled(r.Split())
+
+		trainOn := func(ds *dataset.Dataset) (tree, forest, ada ml.Classifier, err error) {
+			prob, err := ml.FromDataset(ds, target)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			t, err := ml.TrainTree(prob, nil, ml.TreeConfig{MaxDepth: 12, MinLeafWeight: 4})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			f, err := ml.TrainForest(prob, ml.ForestConfig{
+				Trees: 30, MaxDepth: 16, Seed: r.Uint64(),
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			a, err := ml.TrainAdaBoost(prob, ml.AdaBoostConfig{Rounds: 30, WeakDepth: 3})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return t, f, a, nil
+		}
+
+		refTree, refRF, refAda, err := trainOn(realTrain)
+		if err != nil {
+			return nil, err
+		}
+		baselineProb, err := ml.FromDataset(realTrain, target)
+		if err != nil {
+			return nil, err
+		}
+		baselineSum += ml.Accuracy(ml.ConstantClassifier(baselineProb.MajorityClass()), testProb)
+
+		for si, set := range sets {
+			var tree, forest, ada ml.Classifier
+			if set.name == "Reals" {
+				tree, forest, ada = refTree, refRF, refAda
+			} else {
+				tree, forest, ada, err = trainOn(set.data)
+				if err != nil {
+					return nil, fmt.Errorf("eval: table 3 %s: %w", set.name, err)
+				}
+			}
+			sums[si].AccTree += ml.Accuracy(tree, testProb)
+			sums[si].AccRF += ml.Accuracy(forest, testProb)
+			sums[si].AccAda += ml.Accuracy(ada, testProb)
+			sums[si].AgrTree += ml.AgreementRate(tree, refTree, testProb.Records)
+			sums[si].AgrRF += ml.AgreementRate(forest, refRF, testProb.Records)
+			sums[si].AgrAda += ml.AgreementRate(ada, refAda, testProb.Records)
+		}
+	}
+
+	res := &Table3Result{Baseline: baselineSum / float64(reps)}
+	for _, row := range sums {
+		row.AccTree /= float64(reps)
+		row.AccRF /= float64(reps)
+		row.AccAda /= float64(reps)
+		row.AgrTree /= float64(reps)
+		row.AgrRF /= float64(reps)
+		row.AgrAda /= float64(reps)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table4Row is one row of Table 4: a training regime and the LR and SVM
+// accuracies it yields.
+type Table4Row struct {
+	Name          string
+	AccLR, AccSVM float64
+}
+
+// Table4Result holds all rows plus the λ that was selected.
+type Table4Result struct {
+	Rows   []Table4Row
+	Lambda float64
+}
+
+// RunTable4 reproduces Table 4: non-private, output-perturbation-DP and
+// objective-perturbation-DP LR/SVM trained on reals, versus non-private
+// LR/SVM trained on marginals and synthetics. ε = 1 (matching the
+// generative model's budget) and λ is swept over {1e-3 … 1e-6}, picking the
+// value that maximizes the non-private accuracy, exactly as in §6.3.
+func RunTable4(p *Pipeline, lambdas []float64) (*Table4Result, error) {
+	if len(lambdas) == 0 {
+		lambdas = []float64{1e-3, 1e-4, 1e-5, 1e-6}
+	}
+	target := p.Meta.AttrIndex("WAGP")
+	const eps = 1.0
+	r := rng.New(p.Cfg.Seed + 0x7a4)
+
+	realProb, err := ml.FromDataset(p.DS, target)
+	if err != nil {
+		return nil, err
+	}
+	testProb, err := ml.FromDataset(p.Test, target)
+	if err != nil {
+		return nil, err
+	}
+
+	// λ selection on the non-private models.
+	bestLambda, bestScore := lambdas[0], -1.0
+	for _, l := range lambdas {
+		lr, err := ml.TrainLinear(realProb, ml.ERMConfig{Loss: ml.LogisticLoss, Lambda: l})
+		if err != nil {
+			return nil, err
+		}
+		svm, err := ml.TrainLinear(realProb, ml.ERMConfig{Loss: ml.HuberHingeLoss, Lambda: l})
+		if err != nil {
+			return nil, err
+		}
+		score := ml.Accuracy(lr, testProb) + ml.Accuracy(svm, testProb)
+		if score > bestScore {
+			bestScore, bestLambda = score, l
+		}
+	}
+	lrCfg := ml.ERMConfig{Loss: ml.LogisticLoss, Lambda: bestLambda}
+	svmCfg := ml.ERMConfig{Loss: ml.HuberHingeLoss, Lambda: bestLambda}
+
+	res := &Table4Result{Lambda: bestLambda}
+	addRow := func(name string, lr, svm ml.Classifier) {
+		res.Rows = append(res.Rows, Table4Row{
+			Name:   name,
+			AccLR:  ml.Accuracy(lr, testProb),
+			AccSVM: ml.Accuracy(svm, testProb),
+		})
+	}
+
+	lrNP, err := ml.TrainLinear(realProb, lrCfg)
+	if err != nil {
+		return nil, err
+	}
+	svmNP, err := ml.TrainLinear(realProb, svmCfg)
+	if err != nil {
+		return nil, err
+	}
+	addRow("Non Private", lrNP, svmNP)
+
+	lrOut, err := ml.TrainOutputPerturbed(realProb, lrCfg, eps, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	svmOut, err := ml.TrainOutputPerturbed(realProb, svmCfg, eps, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	addRow("Output Perturbation", lrOut, svmOut)
+
+	lrObj, err := ml.TrainObjectivePerturbed(realProb, lrCfg, eps, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	svmObj, err := ml.TrainObjectivePerturbed(realProb, svmCfg, eps, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	addRow("Objective Perturbation", lrObj, svmObj)
+
+	synthRow := func(name string, ds *dataset.Dataset) error {
+		prob, err := ml.FromDataset(ds, target)
+		if err != nil {
+			return err
+		}
+		lr, err := ml.TrainLinear(prob, lrCfg)
+		if err != nil {
+			return err
+		}
+		svm, err := ml.TrainLinear(prob, svmCfg)
+		if err != nil {
+			return err
+		}
+		addRow(name, lr, svm)
+		return nil
+	}
+	if err := synthRow("Marginals", p.Marginals); err != nil {
+		return nil, err
+	}
+	for _, om := range p.Cfg.Omegas {
+		if err := synthRow(om.Name(), p.Synths[om.Name()]); err != nil {
+			return nil, fmt.Errorf("eval: table 4 %s: %w", om.Name(), err)
+		}
+	}
+	return res, nil
+}
+
+// Table5Row is one row of Table 5: the distinguishing accuracy of RF and
+// Tree between reals and the named dataset.
+type Table5Row struct {
+	Name           string
+	AccRF, AccTree float64
+}
+
+// Table5Result holds the distinguishing-game outcomes.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// RunTable5 reproduces the distinguishing game of §6.4: a classifier is
+// trained on a balanced mix of real and synthetic records (labels: real=0,
+// synthetic=1) and evaluated on a disjoint balanced mix; its accuracy is
+// the distinguishing power. The "Reals" row plays reals against other
+// reals, pinning the 50% blind baseline.
+func RunTable5(p *Pipeline, nTrain, nTest int) (*Table5Result, error) {
+	r := rng.New(p.Cfg.Seed + 0x7a5)
+
+	reals := p.Test.Shuffled(r.Split())
+	need := 2*nTrain + 2*nTest // train+test real halves for the Reals row
+	if reals.Len() < need {
+		nTrain = reals.Len() / 4
+		nTest = reals.Len() / 4
+	}
+
+	res := &Table5Result{}
+	game := func(name string, synthetic *dataset.Dataset) error {
+		// Real records: first nTrain train, next nTest test.
+		// Synthetic records: same split from the synthetic dataset.
+		synth := synthetic.Shuffled(r.Split())
+		if synth.Len() < nTrain+nTest {
+			return fmt.Errorf("eval: table 5 %s: %d records < %d needed", name, synth.Len(), nTrain+nTest)
+		}
+		var trainRecs, testRecs []dataset.Record
+		var trainLabels, testLabels []int
+		for i := 0; i < nTrain; i++ {
+			trainRecs = append(trainRecs, reals.Row(i))
+			trainLabels = append(trainLabels, 0)
+			trainRecs = append(trainRecs, synth.Row(i))
+			trainLabels = append(trainLabels, 1)
+		}
+		for i := 0; i < nTest; i++ {
+			testRecs = append(testRecs, reals.Row(nTrain+i))
+			testLabels = append(testLabels, 0)
+			testRecs = append(testRecs, synth.Row(nTrain+i))
+			testLabels = append(testLabels, 1)
+		}
+		trainProb, err := ml.FromLabeled(p.Meta, trainRecs, trainLabels, 2)
+		if err != nil {
+			return err
+		}
+		testProb, err := ml.FromLabeled(p.Meta, testRecs, testLabels, 2)
+		if err != nil {
+			return err
+		}
+		forest, err := ml.TrainForest(trainProb, ml.ForestConfig{
+			Trees: 30, MaxDepth: 18, Seed: r.Uint64(),
+		})
+		if err != nil {
+			return err
+		}
+		tree, err := ml.TrainTree(trainProb, nil, ml.TreeConfig{MaxDepth: 14, MinLeafWeight: 4})
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, Table5Row{
+			Name:    name,
+			AccRF:   ml.Accuracy(forest, testProb),
+			AccTree: ml.Accuracy(tree, testProb),
+		})
+		return nil
+	}
+
+	// Baseline: reals vs (other) reals ≈ 50%.
+	otherReals, err := p.Test.Shuffled(r.Split()).Split(nTrain + nTest)
+	if err != nil {
+		return nil, err
+	}
+	if err := game("Reals", otherReals[0]); err != nil {
+		return nil, err
+	}
+	if err := game("Marginals", p.Marginals); err != nil {
+		return nil, err
+	}
+	for _, om := range p.Cfg.Omegas {
+		if err := game(om.Name(), p.Synths[om.Name()]); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// AdaBoostConfig controls AdaBoostM1 training.
+type AdaBoostConfig struct {
+	// Rounds is the number of boosting rounds. Zero means 50.
+	Rounds int
+	// WeakDepth is the depth of the weak CART learners. Zero means 3.
+	WeakDepth int
+	// MinLeafWeight per weak learner (in normalized weight units). Zero
+	// means 1e-4.
+	MinLeafWeight float64
+}
+
+// AdaBoost is an AdaBoostM1 ensemble of weighted CART trees (the "Ada" of
+// Tables 3–4).
+type AdaBoost struct {
+	trees      []*Tree
+	alphas     []float64
+	numClasses int
+}
+
+// TrainAdaBoost runs AdaBoostM1 (Freund & Schapire): each round trains a
+// weak tree on the current instance weights, computes the weighted error ε,
+// stops if ε ≥ 1/2, and otherwise downweights correctly classified
+// instances by β = ε/(1−ε).
+func TrainAdaBoost(p *Problem, cfg AdaBoostConfig) (*AdaBoost, error) {
+	if p.Len() == 0 {
+		return nil, fmt.Errorf("ml: training AdaBoost on empty problem")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 50
+	}
+	if cfg.WeakDepth <= 0 {
+		cfg.WeakDepth = 3
+	}
+	if cfg.MinLeafWeight <= 0 {
+		cfg.MinLeafWeight = 1e-4
+	}
+
+	n := p.Len()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	ens := &AdaBoost{numClasses: p.NumClasses}
+	for round := 0; round < cfg.Rounds; round++ {
+		tree, err := TrainTree(p, w, TreeConfig{
+			MaxDepth:      cfg.WeakDepth,
+			MinLeafWeight: cfg.MinLeafWeight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eps := 0.0
+		miss := make([]bool, n)
+		for i, rec := range p.Records {
+			if tree.Predict(rec) != p.Labels[i] {
+				miss[i] = true
+				eps += w[i]
+			}
+		}
+		if eps >= 0.5 {
+			// Weak learner no better than chance on the weighted sample;
+			// M1 stops here.
+			break
+		}
+		if eps <= 0 {
+			// Perfect learner: give it a large but finite vote and stop.
+			ens.trees = append(ens.trees, tree)
+			ens.alphas = append(ens.alphas, math.Log(1e10))
+			break
+		}
+		beta := eps / (1 - eps)
+		ens.trees = append(ens.trees, tree)
+		ens.alphas = append(ens.alphas, math.Log(1/beta))
+		// Downweight correct instances, then renormalize.
+		total := 0.0
+		for i := range w {
+			if !miss[i] {
+				w[i] *= beta
+			}
+			total += w[i]
+		}
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	if len(ens.trees) == 0 {
+		// Boosting never got off the ground; fall back to one plain tree so
+		// the ensemble still predicts (mirrors Weka's behaviour).
+		tree, err := TrainTree(p, nil, TreeConfig{MaxDepth: cfg.WeakDepth})
+		if err != nil {
+			return nil, err
+		}
+		ens.trees = append(ens.trees, tree)
+		ens.alphas = append(ens.alphas, 1)
+	}
+	return ens, nil
+}
+
+// Predict implements Classifier: argmax over classes of the α-weighted
+// votes.
+func (a *AdaBoost) Predict(rec dataset.Record) int {
+	votes := make([]float64, a.numClasses)
+	for t, tree := range a.trees {
+		votes[tree.Predict(rec)] += a.alphas[t]
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Rounds returns the number of boosting rounds actually used.
+func (a *AdaBoost) Rounds() int { return len(a.trees) }

@@ -1,0 +1,95 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Encoder maps coded records to dense feature vectors following the
+// pre-processing of Chaudhuri et al. [9] as described in §6.3: categorical
+// attributes become one-hot binary features, numerical attributes become a
+// single feature scaled to [0, 1], a constant intercept feature is
+// appended, and each example is scaled so its L2 norm is at most 1 (the
+// norm bound the DP-ERM sensitivity analysis requires).
+type Encoder struct {
+	meta     *dataset.Metadata
+	features []int
+	offsets  []int
+	dims     int
+}
+
+// NewEncoder builds an encoder over the problem's feature attributes.
+func NewEncoder(p *Problem) *Encoder {
+	e := &Encoder{meta: p.Meta, features: p.Features}
+	e.offsets = make([]int, len(p.Features))
+	dim := 0
+	for fi, a := range p.Features {
+		e.offsets[fi] = dim
+		if p.Meta.Attrs[a].Kind == dataset.Numerical {
+			dim++
+		} else {
+			dim += p.Meta.Attrs[a].Card()
+		}
+	}
+	e.dims = dim + 1 // intercept
+	return e
+}
+
+// Dims returns the feature-space dimensionality (including the intercept).
+func (e *Encoder) Dims() int { return e.dims }
+
+// Encode writes the feature vector of rec into out (length Dims) and
+// returns it; a nil out allocates.
+func (e *Encoder) Encode(rec dataset.Record, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, e.dims)
+	} else {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	for fi, a := range e.features {
+		off := e.offsets[fi]
+		attr := &e.meta.Attrs[a]
+		if attr.Kind == dataset.Numerical {
+			out[off] = float64(rec[a]) / float64(attr.Card()-1)
+		} else {
+			out[off+int(rec[a])] = 1
+		}
+	}
+	out[e.dims-1] = 1 // intercept
+	// Project into the unit L2 ball.
+	norm := 0.0
+	for _, v := range out {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm > 1 {
+		for i := range out {
+			out[i] /= norm
+		}
+	}
+	return out
+}
+
+// EncodeProblem encodes every record of a binary problem, returning the
+// design matrix and ±1 labels. It fails unless NumClasses == 2.
+func EncodeProblem(p *Problem) (x [][]float64, y []float64, enc *Encoder, err error) {
+	if p.NumClasses != 2 {
+		return nil, nil, nil, fmt.Errorf("ml: linear models require binary problems, got %d classes", p.NumClasses)
+	}
+	enc = NewEncoder(p)
+	x = make([][]float64, p.Len())
+	y = make([]float64, p.Len())
+	for i, rec := range p.Records {
+		x[i] = enc.Encode(rec, nil)
+		if p.Labels[i] == 1 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	return x, y, enc, nil
+}

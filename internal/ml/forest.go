@@ -1,0 +1,114 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size. Zero means 50.
+	Trees int
+	// MaxDepth per tree. Zero means 16.
+	MaxDepth int
+	// MinLeafWeight per tree. Zero means 1.
+	MinLeafWeight float64
+	// FeatureSample per split. Zero means ⌈√(#features)⌉.
+	FeatureSample int
+	// Seed seeds the forest's RNG tree.
+	Seed uint64
+	// Workers bounds training parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Forest is a bagged ensemble of CART trees voting by majority.
+type Forest struct {
+	trees      []*Tree
+	numClasses int
+}
+
+// TrainForest fits a random forest: each tree trains on a bootstrap sample
+// of the instances and examines a random feature subset at every split.
+func TrainForest(p *Problem, cfg ForestConfig) (*Forest, error) {
+	if p.Len() == 0 {
+		return nil, fmt.Errorf("ml: training forest on empty problem")
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 50
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 16
+	}
+	if cfg.FeatureSample <= 0 {
+		cfg.FeatureSample = int(math.Ceil(math.Sqrt(float64(len(p.Features)))))
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+
+	root := rng.New(cfg.Seed)
+	streams := make([]*rng.RNG, cfg.Trees)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+
+	trees := make([]*Tree, cfg.Trees)
+	errs := make([]error, cfg.Trees)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ti := 0; ti < cfg.Trees; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := streams[ti]
+			// Bootstrap sample.
+			idx := make([]int, p.Len())
+			for i := range idx {
+				idx[i] = r.Intn(p.Len())
+			}
+			boot := p.Subset(idx)
+			trees[ti], errs[ti] = TrainTree(boot, nil, TreeConfig{
+				MaxDepth:      cfg.MaxDepth,
+				MinLeafWeight: cfg.MinLeafWeight,
+				FeatureSample: cfg.FeatureSample,
+				Rng:           r,
+			})
+		}(ti)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Forest{trees: trees, numClasses: p.NumClasses}, nil
+}
+
+// Predict implements Classifier by majority vote.
+func (f *Forest) Predict(rec dataset.Record) int {
+	votes := make([]int, f.numClasses)
+	for _, t := range f.trees {
+		votes[t.Predict(rec)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

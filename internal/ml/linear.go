@@ -1,0 +1,189 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Loss selects the convex surrogate minimized by regularized ERM.
+type Loss int
+
+const (
+	// LogisticLoss ℓ(z) = ln(1 + e^(−z)); the LR of Table 4.
+	LogisticLoss Loss = iota
+	// HuberHingeLoss is the Huber-smoothed hinge of Chaudhuri et al. [9]
+	// §3.4.2 with smoothing h; the (objective-perturbable) SVM of Table 4.
+	HuberHingeLoss
+)
+
+// huberH is the hinge smoothing parameter h of [9] (they use 0.5).
+const huberH = 0.5
+
+// lossValueGrad returns ℓ(z) and ℓ'(z) for margin z = y·w·x.
+func lossValueGrad(loss Loss, z float64) (v, g float64) {
+	switch loss {
+	case HuberHingeLoss:
+		switch {
+		case z > 1+huberH:
+			return 0, 0
+		case z < 1-huberH:
+			return 1 - z, -1
+		default:
+			d := 1 + huberH - z
+			return d * d / (4 * huberH), -d / (2 * huberH)
+		}
+	default: // logistic
+		// Numerically stable ln(1+e^{−z}).
+		if z > 35 {
+			return math.Exp(-z), -math.Exp(-z)
+		}
+		if z < -35 {
+			return -z, -1
+		}
+		ez := math.Exp(-z)
+		return math.Log1p(ez), -ez / (1 + ez)
+	}
+}
+
+// lossSmoothness returns an upper bound c on |ℓ”| — the constant the
+// objective-perturbation privacy analysis needs (c = 1/4 for logistic,
+// c = 1/(2h) for huber-hinge) and the Lipschitz constant of the ERM
+// gradient per unit-norm example.
+func lossSmoothness(loss Loss) float64 {
+	if loss == HuberHingeLoss {
+		return 1 / (2 * huberH)
+	}
+	return 0.25
+}
+
+// ERMConfig parameterizes regularized empirical risk minimization
+//
+//	J(w) = (1/n)·Σ ℓ(y_i · w·x_i) + (λ/2)·‖w‖²
+//
+// solved by deterministic heavy-ball gradient descent.
+type ERMConfig struct {
+	// Loss selects the surrogate.
+	Loss Loss
+	// Lambda is the L2 regularization strength λ > 0.
+	Lambda float64
+	// Iters is the number of gradient iterations. Zero means 300.
+	Iters int
+}
+
+// LinearModel is a trained linear classifier over encoded features.
+type LinearModel struct {
+	W   []float64
+	enc *Encoder
+	buf []float64
+}
+
+// Predict implements Classifier: class 1 iff w·x > 0.
+func (m *LinearModel) Predict(rec dataset.Record) int {
+	if m.buf == nil {
+		m.buf = make([]float64, m.enc.Dims())
+	}
+	x := m.enc.Encode(rec, m.buf)
+	s := 0.0
+	for i, v := range x {
+		s += m.W[i] * v
+	}
+	if s > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Margin returns w·x for a record (useful for calibration diagnostics).
+func (m *LinearModel) Margin(rec dataset.Record) float64 {
+	x := m.enc.Encode(rec, nil)
+	s := 0.0
+	for i, v := range x {
+		s += m.W[i] * v
+	}
+	return s
+}
+
+// TrainLinear fits the (non-private) regularized ERM classifier of §6.3.
+func TrainLinear(p *Problem, cfg ERMConfig) (*LinearModel, error) {
+	x, y, enc, err := EncodeProblem(p)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Lambda <= 0 {
+		return nil, fmt.Errorf("ml: ERM requires lambda > 0, got %g", cfg.Lambda)
+	}
+	w := minimizeERM(x, y, cfg, nil, 0)
+	return &LinearModel{W: w, enc: enc}, nil
+}
+
+// minimizeERM runs heavy-ball gradient descent on
+//
+//	J(w) = (1/n)·Σ ℓ(y_i·w·x_i) + (λ/2)‖w‖² + (1/n)·b·w + (Δ/2)‖w‖²
+//
+// where b (may be nil) and Δ are the objective-perturbation terms.
+func minimizeERM(x [][]float64, y []float64, cfg ERMConfig, b []float64, delta float64) []float64 {
+	n := len(x)
+	d := len(x[0])
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 300
+	}
+	c := lossSmoothness(cfg.Loss)
+	reg := cfg.Lambda + delta
+	lip := c + reg // ‖x‖ ≤ 1 ⇒ ∇J is (c+λ+Δ)-Lipschitz
+	step := 1 / lip
+	const momentum = 0.9
+
+	w := make([]float64, d)
+	vel := make([]float64, d)
+	grad := make([]float64, d)
+	for it := 0; it < iters; it++ {
+		for j := range grad {
+			grad[j] = reg * w[j]
+		}
+		if b != nil {
+			for j := range grad {
+				grad[j] += b[j] / float64(n)
+			}
+		}
+		for i := 0; i < n; i++ {
+			z := 0.0
+			xi := x[i]
+			for j, v := range xi {
+				z += w[j] * v
+			}
+			_, g := lossValueGrad(cfg.Loss, y[i]*z)
+			gy := g * y[i] / float64(n)
+			for j, v := range xi {
+				grad[j] += gy * v
+			}
+		}
+		for j := range w {
+			vel[j] = momentum*vel[j] - step*grad[j]
+			w[j] += vel[j]
+		}
+	}
+	return w
+}
+
+// ermObjective evaluates J(w) (without perturbation terms); exported to the
+// test suite for convergence checks.
+func ermObjective(x [][]float64, y []float64, w []float64, cfg ERMConfig) float64 {
+	n := len(x)
+	obj := 0.0
+	for i := 0; i < n; i++ {
+		z := 0.0
+		for j, v := range x[i] {
+			z += w[j] * v
+		}
+		v, _ := lossValueGrad(cfg.Loss, y[i]*z)
+		obj += v
+	}
+	obj /= float64(n)
+	for _, wj := range w {
+		obj += cfg.Lambda / 2 * wj * wj
+	}
+	return obj
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// ConfusionMatrix tallies predictions against true labels.
+type ConfusionMatrix struct {
+	counts     [][]int
+	numClasses int
+}
+
+// Confusion evaluates a classifier on a problem and returns the matrix
+// (rows: true class, columns: predicted class).
+func Confusion(c Classifier, p *Problem) *ConfusionMatrix {
+	m := &ConfusionMatrix{numClasses: p.NumClasses}
+	m.counts = make([][]int, p.NumClasses)
+	for i := range m.counts {
+		m.counts[i] = make([]int, p.NumClasses)
+	}
+	for i, rec := range p.Records {
+		m.counts[p.Labels[i]][c.Predict(rec)]++
+	}
+	return m
+}
+
+// Count returns the number of instances with the given true and predicted
+// classes.
+func (m *ConfusionMatrix) Count(actual, predicted int) int {
+	return m.counts[actual][predicted]
+}
+
+// Accuracy returns the trace fraction.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total, correct := 0, 0
+	for a := range m.counts {
+		for p, n := range m.counts[a] {
+			total += n
+			if a == p {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision returns TP/(TP+FP) for a class (0 when never predicted).
+func (m *ConfusionMatrix) Precision(class int) float64 {
+	tp, fp := m.counts[class][class], 0
+	for a := range m.counts {
+		if a != class {
+			fp += m.counts[a][class]
+		}
+	}
+	if tp+fp == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// Recall returns TP/(TP+FN) for a class (0 when the class never occurs).
+func (m *ConfusionMatrix) Recall(class int) float64 {
+	tp, fn := m.counts[class][class], 0
+	for p := range m.counts[class] {
+		if p != class {
+			fn += m.counts[class][p]
+		}
+	}
+	if tp+fn == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (m *ConfusionMatrix) F1(class int) float64 {
+	p, r := m.Precision(class), m.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix.
+func (m *ConfusionMatrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "confusion (%d classes, accuracy %.3f):\n", m.numClasses, m.Accuracy())
+	for a := range m.counts {
+		fmt.Fprintf(&sb, "  true %d: %v\n", a, m.counts[a])
+	}
+	return sb.String()
+}
+
+// StratifiedSplit shuffles and splits the problem keeping each class's
+// proportion in both parts (the evaluation protocol the paper's 5-run
+// averages rely on for the imbalanced income task).
+func (p *Problem) StratifiedSplit(r *rng.RNG, testFrac float64) (train, test *Problem) {
+	byClass := make([][]int, p.NumClasses)
+	for i, l := range p.Labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	var trainIdx, testIdx []int
+	for _, idx := range byClass {
+		r.ShuffleInts(idx)
+		nTest := int(testFrac * float64(len(idx)))
+		testIdx = append(testIdx, idx[:nTest]...)
+		trainIdx = append(trainIdx, idx[nTest:]...)
+	}
+	r.ShuffleInts(trainIdx)
+	r.ShuffleInts(testIdx)
+	return p.Subset(trainIdx), p.Subset(testIdx)
+}
+
+// CrossValidate runs k-fold cross validation, training with the supplied
+// constructor on each fold's complement and returning per-fold accuracies.
+func CrossValidate(p *Problem, folds int, r *rng.RNG, train func(*Problem) (Classifier, error)) ([]float64, error) {
+	if folds < 2 {
+		return nil, fmt.Errorf("ml: cross validation needs >= 2 folds, got %d", folds)
+	}
+	if p.Len() < folds {
+		return nil, fmt.Errorf("ml: %d instances cannot fill %d folds", p.Len(), folds)
+	}
+	perm := r.Perm(p.Len())
+	accs := make([]float64, folds)
+	for f := 0; f < folds; f++ {
+		var trainIdx, testIdx []int
+		for i, j := range perm {
+			if i%folds == f {
+				testIdx = append(testIdx, j)
+			} else {
+				trainIdx = append(trainIdx, j)
+			}
+		}
+		c, err := train(p.Subset(trainIdx))
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		accs[f] = Accuracy(c, p.Subset(testIdx))
+	}
+	return accs, nil
+}

@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestConfusionMatrixCounts(t *testing.T) {
+	meta := dataset.MustMetadata(dataset.NewCategorical("L", "a", "b"))
+	recs := []dataset.Record{{0}, {0}, {1}, {1}}
+	p, err := FromLabeled(meta, recs, []int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Confusion(ConstantClassifier(1), p)
+	if m.Count(0, 1) != 2 || m.Count(1, 1) != 2 || m.Count(0, 0) != 0 {
+		t.Fatalf("counts wrong: %v", m)
+	}
+	if math.Abs(m.Accuracy()-0.5) > 1e-12 {
+		t.Fatalf("accuracy %g", m.Accuracy())
+	}
+	// Class 1: TP=2, FP=2 → precision 0.5; recall 1.
+	if math.Abs(m.Precision(1)-0.5) > 1e-12 || m.Recall(1) != 1 {
+		t.Fatalf("precision/recall wrong: %g %g", m.Precision(1), m.Recall(1))
+	}
+	// Class 0 never predicted: precision 0, recall 0, F1 0.
+	if m.Precision(0) != 0 || m.Recall(0) != 0 || m.F1(0) != 0 {
+		t.Fatal("empty-class metrics should be 0")
+	}
+	// F1 of class 1: 2·0.5·1/1.5 = 2/3.
+	if math.Abs(m.F1(1)-2.0/3) > 1e-12 {
+		t.Fatalf("F1 %g", m.F1(1))
+	}
+}
+
+func TestConfusionAgreesWithAccuracy(t *testing.T) {
+	p := binaryTask(t, 1000, 40)
+	tree, err := TrainTree(p, nil, TreeConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Confusion(tree, p).Accuracy()-Accuracy(tree, p)) > 1e-12 {
+		t.Fatal("confusion accuracy disagrees with Accuracy()")
+	}
+}
+
+func TestStratifiedSplitPreservesProportions(t *testing.T) {
+	p := binaryTask(t, 4000, 41)
+	train, test := p.StratifiedSplit(rng.New(42), 0.25)
+	if train.Len()+test.Len() != p.Len() {
+		t.Fatalf("split lost instances: %d + %d != %d", train.Len(), test.Len(), p.Len())
+	}
+	frac := func(q *Problem) float64 {
+		pos := 0
+		for _, l := range q.Labels {
+			pos += l
+		}
+		return float64(pos) / float64(q.Len())
+	}
+	if math.Abs(frac(train)-frac(test)) > 0.02 {
+		t.Fatalf("class proportions diverge: %.3f vs %.3f", frac(train), frac(test))
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	p := binaryTask(t, 2000, 43)
+	accs, err := CrossValidate(p, 5, rng.New(44), func(fold *Problem) (Classifier, error) {
+		return TrainTree(fold, nil, TreeConfig{MaxDepth: 8})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 5 {
+		t.Fatalf("fold count %d", len(accs))
+	}
+	base := Accuracy(ConstantClassifier(p.MajorityClass()), p)
+	for f, a := range accs {
+		if a < base-0.05 {
+			t.Errorf("fold %d accuracy %.3f below baseline %.3f", f, a, base)
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	p := binaryTask(t, 10, 45)
+	if _, err := CrossValidate(p, 1, rng.New(1), nil); err == nil {
+		t.Fatal("1 fold accepted")
+	}
+	if _, err := CrossValidate(p, 20, rng.New(1), nil); err == nil {
+		t.Fatal("more folds than instances accepted")
+	}
+}
+
+// TestQuickTreePredictionsInRange: fuzzed records always map to a valid
+// class.
+func TestQuickTreePredictionsInRange(t *testing.T) {
+	p := binaryTask(t, 800, 46)
+	tree, err := TrainTree(p, nil, TreeConfig{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainForest(p, ForestConfig{Trees: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boost, err := TrainAdaBoost(p, AdaBoostConfig{Rounds: 5, WeakDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d uint16) bool {
+		rec := dataset.Record{a % 4, b % 50, c % 2, d % 3, 0}
+		for _, cls := range []Classifier{tree, forest, boost} {
+			if pr := cls.Predict(rec); pr < 0 || pr >= p.NumClasses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGiniProperties: the split gain is never negative and never
+// exceeds the parent impurity.
+func TestQuickGiniProperties(t *testing.T) {
+	r := rng.New(47)
+	for trial := 0; trial < 2000; trial++ {
+		classes := 2 + r.Intn(4)
+		parent := make([]float64, classes)
+		left := make([]float64, classes)
+		total, leftTotal := 0.0, 0.0
+		for c := range parent {
+			parent[c] = float64(r.Intn(50))
+			if parent[c] > 0 {
+				left[c] = float64(r.Intn(int(parent[c]) + 1))
+			}
+			total += parent[c]
+			leftTotal += left[c]
+		}
+		if total == 0 || leftTotal == 0 || leftTotal == total {
+			continue
+		}
+		pg := gini(parent, total)
+		g := splitGain(pg, left, leftTotal, parent, total)
+		if g < -1e-12 {
+			t.Fatalf("negative gain %g", g)
+		}
+		if g > pg+1e-12 {
+			t.Fatalf("gain %g exceeds parent impurity %g", g, pg)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// binaryTask synthesizes a binary classification problem with two
+// informative attributes (one categorical, one numerical), one noisy copy,
+// and one pure-noise attribute.
+func binaryTask(t testing.TB, n int, seed uint64) *Problem {
+	t.Helper()
+	meta := dataset.MustMetadata(
+		dataset.NewCategorical("CAT", "a", "b", "c", "d"),
+		dataset.NewNumerical("NUM", 0, 49),
+		dataset.NewCategorical("COPY", "x", "y"),
+		dataset.NewCategorical("NOISE", "p", "q", "r"),
+		dataset.NewCategorical("LABEL", "neg", "pos"),
+	)
+	r := rng.New(seed)
+	ds := dataset.New(meta)
+	for i := 0; i < n; i++ {
+		cat := uint16(r.Intn(4))
+		num := uint16(r.Intn(50))
+		score := 0.0
+		if cat >= 2 {
+			score += 1.2
+		}
+		score += (float64(num) - 25) * 0.08
+		label := uint16(0)
+		if 1/(1+math.Exp(-score)) > r.Float64() {
+			label = 1
+		}
+		copyAttr := label
+		if r.Bool(0.15) {
+			copyAttr = 1 - copyAttr
+		}
+		ds.Append(dataset.Record{cat, num, copyAttr, uint16(r.Intn(3)), label})
+	}
+	p, err := FromDataset(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// xorTask synthesizes the XOR problem: label = A XOR B. Linear models fail;
+// depth-2 trees succeed.
+func xorTask(t testing.TB, n int, seed uint64) *Problem {
+	t.Helper()
+	meta := dataset.MustMetadata(
+		dataset.NewCategorical("A", "0", "1"),
+		dataset.NewCategorical("B", "0", "1"),
+		dataset.NewCategorical("LABEL", "0", "1"),
+	)
+	r := rng.New(seed)
+	ds := dataset.New(meta)
+	for i := 0; i < n; i++ {
+		a, b := uint16(r.Intn(2)), uint16(r.Intn(2))
+		ds.Append(dataset.Record{a, b, a ^ b})
+	}
+	p, err := FromDataset(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromDatasetExcludesTarget(t *testing.T) {
+	p := binaryTask(t, 100, 1)
+	for _, f := range p.Features {
+		if f == 4 {
+			t.Fatal("target attribute leaked into features")
+		}
+	}
+	if p.NumClasses != 2 {
+		t.Fatalf("NumClasses = %d", p.NumClasses)
+	}
+}
+
+func TestFromLabeledValidation(t *testing.T) {
+	meta := dataset.MustMetadata(dataset.NewCategorical("A", "x", "y"))
+	recs := []dataset.Record{{0}, {1}}
+	if _, err := FromLabeled(meta, recs, []int{0}, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FromLabeled(meta, recs, []int{0, 5}, 2); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := FromLabeled(meta, recs, []int{0, 1}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestProblemSplitDisjointAndComplete(t *testing.T) {
+	p := binaryTask(t, 100, 2)
+	train, test := p.Split(rng.New(3), 0.3)
+	if train.Len()+test.Len() != 100 {
+		t.Fatalf("split sizes %d + %d", train.Len(), test.Len())
+	}
+	if test.Len() != 30 {
+		t.Fatalf("test size %d, want 30", test.Len())
+	}
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	p := xorTask(t, 400, 4)
+	tree, err := TrainTree(p, nil, TreeConfig{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree, p); acc < 0.99 {
+		t.Fatalf("tree XOR accuracy %.3f, want ~1", acc)
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	p := binaryTask(t, 500, 5)
+	tree, err := TrainTree(p, nil, TreeConfig{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 2 {
+		t.Fatalf("depth %d exceeds limit 2", d)
+	}
+}
+
+func TestTreeBeatsBaseline(t *testing.T) {
+	train := binaryTask(t, 3000, 6)
+	test := binaryTask(t, 1000, 7)
+	tree, err := TrainTree(train, nil, TreeConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Accuracy(ConstantClassifier(train.MajorityClass()), test)
+	acc := Accuracy(tree, test)
+	if acc < base+0.1 {
+		t.Fatalf("tree %.3f not clearly above baseline %.3f", acc, base)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	p := binaryTask(t, 10, 8)
+	if _, err := TrainTree(&Problem{Meta: p.Meta, NumClasses: 2}, nil, TreeConfig{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := TrainTree(p, []float64{1}, TreeConfig{}); err == nil {
+		t.Fatal("bad weight vector accepted")
+	}
+	if _, err := TrainTree(p, nil, TreeConfig{FeatureSample: 2}); err == nil {
+		t.Fatal("feature sampling without RNG accepted")
+	}
+}
+
+func TestWeightedTreeFocusesOnHeavyInstances(t *testing.T) {
+	// Two contradictory clusters; the weighted one must win the leaf.
+	meta := dataset.MustMetadata(
+		dataset.NewCategorical("F", "l", "r"),
+		dataset.NewCategorical("LABEL", "0", "1"),
+	)
+	ds := dataset.New(meta)
+	for i := 0; i < 10; i++ {
+		ds.Append(dataset.Record{0, 0})
+		ds.Append(dataset.Record{0, 1})
+	}
+	p, err := FromDataset(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, p.Len())
+	for i := range w {
+		if p.Labels[i] == 1 {
+			w[i] = 10
+		} else {
+			w[i] = 1
+		}
+	}
+	tree, err := TrainTree(p, w, TreeConfig{MaxDepth: 2, MinLeafWeight: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict(dataset.Record{0, 0}) != 1 {
+		t.Fatal("weighted majority ignored")
+	}
+}
+
+func TestForestAccuracyAndDeterminism(t *testing.T) {
+	train := binaryTask(t, 2000, 9)
+	test := binaryTask(t, 800, 10)
+	f1, err := TrainForest(train, ForestConfig{Trees: 20, MaxDepth: 10, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := TrainForest(train, ForestConfig{Trees: 20, MaxDepth: 10, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(f1, test)
+	base := Accuracy(ConstantClassifier(train.MajorityClass()), test)
+	if acc < base+0.1 {
+		t.Fatalf("forest %.3f not clearly above baseline %.3f", acc, base)
+	}
+	// Same seed → same predictions regardless of worker count.
+	if agree := AgreementRate(f1, f2, test.Records); agree != 1 {
+		t.Fatalf("forest not deterministic across worker counts: agreement %.4f", agree)
+	}
+	if f1.NumTrees() != 20 {
+		t.Fatalf("NumTrees = %d", f1.NumTrees())
+	}
+}
+
+// majorityTask: label = majority(A, B, C) with 5% label noise. A single
+// stump caps out near 72%; boosted stumps can represent the majority
+// function exactly.
+func majorityTask(t testing.TB, n int, seed uint64) *Problem {
+	t.Helper()
+	meta := dataset.MustMetadata(
+		dataset.NewCategorical("A", "0", "1"),
+		dataset.NewCategorical("B", "0", "1"),
+		dataset.NewCategorical("C", "0", "1"),
+		dataset.NewCategorical("LABEL", "0", "1"),
+	)
+	r := rng.New(seed)
+	ds := dataset.New(meta)
+	for i := 0; i < n; i++ {
+		a, b, c := uint16(r.Intn(2)), uint16(r.Intn(2)), uint16(r.Intn(2))
+		label := uint16(0)
+		if a+b+c >= 2 {
+			label = 1
+		}
+		if r.Bool(0.05) {
+			label = 1 - label
+		}
+		ds.Append(dataset.Record{a, b, c, label})
+	}
+	p, err := FromDataset(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAdaBoostImprovesOverWeakLearner(t *testing.T) {
+	train := majorityTask(t, 3000, 11)
+	test := majorityTask(t, 1000, 12)
+	stump, err := TrainTree(train, nil, TreeConfig{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boost, err := TrainAdaBoost(train, AdaBoostConfig{Rounds: 30, WeakDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAcc := Accuracy(stump, test)
+	bAcc := Accuracy(boost, test)
+	if bAcc < sAcc+0.1 {
+		t.Fatalf("boosting %.3f did not clearly improve on stump %.3f", bAcc, sAcc)
+	}
+	if boost.Rounds() < 2 {
+		t.Fatalf("boosting stopped after %d rounds", boost.Rounds())
+	}
+}
+
+func TestAdaBoostLearnsXORWithDepth2(t *testing.T) {
+	p := xorTask(t, 400, 13)
+	boost, err := TrainAdaBoost(p, AdaBoostConfig{Rounds: 10, WeakDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(boost, p); acc < 0.99 {
+		t.Fatalf("AdaBoost XOR accuracy %.3f", acc)
+	}
+}
+
+func TestEncoderProperties(t *testing.T) {
+	p := binaryTask(t, 50, 14)
+	enc := NewEncoder(p)
+	// CAT(4) + NUM(1) + COPY(2) + NOISE(3) + intercept = 11.
+	if enc.Dims() != 11 {
+		t.Fatalf("Dims = %d, want 11", enc.Dims())
+	}
+	for _, rec := range p.Records {
+		x := enc.Encode(rec, nil)
+		norm := 0.0
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("feature %g outside [0,1]", v)
+			}
+			norm += v * v
+		}
+		if norm > 1+1e-9 {
+			t.Fatalf("example norm² %.6f exceeds 1", norm)
+		}
+	}
+	// Numeric scaling: code 49 of NUM (card 50) maps to 1 before the norm
+	// projection.
+	rec := dataset.Record{0, 49, 0, 0, 0}
+	raw := make([]float64, enc.Dims())
+	enc.Encode(rec, raw)
+	// After projection the ratio NUM/intercept must remain 1.
+	if math.Abs(raw[4]-raw[10]) > 1e-12 {
+		t.Fatalf("numeric scaling wrong: NUM=%g intercept=%g", raw[4], raw[10])
+	}
+}
+
+func TestEncodeProblemRequiresBinary(t *testing.T) {
+	meta := dataset.MustMetadata(
+		dataset.NewCategorical("A", "x", "y"),
+		dataset.NewCategorical("L", "a", "b", "c"),
+	)
+	ds := dataset.New(meta)
+	ds.Append(dataset.Record{0, 2})
+	p, err := FromDataset(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := EncodeProblem(p); err == nil {
+		t.Fatal("3-class problem accepted by linear encoder")
+	}
+}
+
+func TestLinearModelsLearnSeparableTask(t *testing.T) {
+	train := binaryTask(t, 4000, 15)
+	test := binaryTask(t, 1500, 16)
+	base := Accuracy(ConstantClassifier(train.MajorityClass()), test)
+	for _, loss := range []Loss{LogisticLoss, HuberHingeLoss} {
+		m, err := TrainLinear(train, ERMConfig{Loss: loss, Lambda: 1e-4, Iters: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := Accuracy(m, test)
+		if acc < base+0.1 {
+			t.Fatalf("loss %d: accuracy %.3f vs baseline %.3f", loss, acc, base)
+		}
+	}
+}
+
+func TestLinearRejectsBadLambda(t *testing.T) {
+	p := binaryTask(t, 50, 17)
+	if _, err := TrainLinear(p, ERMConfig{Lambda: 0}); err == nil {
+		t.Fatal("lambda 0 accepted")
+	}
+}
+
+func TestERMConvergence(t *testing.T) {
+	p := binaryTask(t, 1000, 18)
+	x, y, _, err := EncodeProblem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ERMConfig{Loss: LogisticLoss, Lambda: 1e-3, Iters: 400}
+	w := minimizeERM(x, y, cfg, nil, 0)
+	zero := make([]float64, len(w))
+	if ermObjective(x, y, w, cfg) >= ermObjective(x, y, zero, cfg) {
+		t.Fatal("optimizer did not descend below the zero vector")
+	}
+	// Longer optimization should not be substantially better (rough
+	// convergence check).
+	cfgLong := cfg
+	cfgLong.Iters = 1600
+	wLong := minimizeERM(x, y, cfgLong, nil, 0)
+	if ermObjective(x, y, w, cfg) > ermObjective(x, y, wLong, cfg)+1e-3 {
+		t.Fatalf("objective at 400 iters %.6f far above 1600 iters %.6f",
+			ermObjective(x, y, w, cfg), ermObjective(x, y, wLong, cfg))
+	}
+}
+
+func TestDPERMPrivacyUtilityTradeoff(t *testing.T) {
+	train := binaryTask(t, 5000, 19)
+	test := binaryTask(t, 1500, 20)
+	cfg := ERMConfig{Loss: LogisticLoss, Lambda: 1e-3, Iters: 300}
+	nonPriv, err := TrainLinear(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	npAcc := Accuracy(nonPriv, test)
+
+	// Generous ε: output perturbation stays close to non-private.
+	outHi, err := TrainOutputPerturbed(train, cfg, 50, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(outHi, test); acc < npAcc-0.03 {
+		t.Fatalf("output perturbation at ε=50 lost too much: %.3f vs %.3f", acc, npAcc)
+	}
+	objHi, err := TrainObjectivePerturbed(train, cfg, 50, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(objHi, test); acc < npAcc-0.03 {
+		t.Fatalf("objective perturbation at ε=50 lost too much: %.3f vs %.3f", acc, npAcc)
+	}
+
+	// ε = 1 with the better method should still beat chance on average.
+	objAcc := 0.0
+	const reps = 5
+	for rep := 0; rep < reps; rep++ {
+		m, err := TrainObjectivePerturbed(train, cfg, 1, rng.New(uint64(100+rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objAcc += Accuracy(m, test)
+	}
+	objAcc /= reps
+	base := Accuracy(ConstantClassifier(train.MajorityClass()), test)
+	if objAcc < base {
+		t.Fatalf("objective perturbation at ε=1 below majority baseline: %.3f < %.3f", objAcc, base)
+	}
+}
+
+func TestDPERMValidation(t *testing.T) {
+	p := binaryTask(t, 100, 21)
+	cfg := ERMConfig{Loss: LogisticLoss, Lambda: 1e-3}
+	if _, err := TrainOutputPerturbed(p, cfg, 0, rng.New(1)); err == nil {
+		t.Fatal("eps=0 accepted by output perturbation")
+	}
+	if _, err := TrainObjectivePerturbed(p, cfg, -1, rng.New(1)); err == nil {
+		t.Fatal("eps<0 accepted by objective perturbation")
+	}
+	bad := ERMConfig{Loss: LogisticLoss, Lambda: 0}
+	if _, err := TrainOutputPerturbed(p, bad, 1, rng.New(1)); err == nil {
+		t.Fatal("lambda=0 accepted")
+	}
+}
+
+func TestAgreementRate(t *testing.T) {
+	p := binaryTask(t, 200, 22)
+	tree, err := TrainTree(p, nil, TreeConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AgreementRate(tree, tree, p.Records); a != 1 {
+		t.Fatalf("self agreement %.3f", a)
+	}
+	if a := AgreementRate(ConstantClassifier(0), ConstantClassifier(1), p.Records); a != 0 {
+		t.Fatalf("disjoint constants agree %.3f", a)
+	}
+	if a := AgreementRate(tree, tree, nil); a != 0 {
+		t.Fatal("empty record agreement should be 0")
+	}
+}
+
+func TestMajorityClass(t *testing.T) {
+	meta := dataset.MustMetadata(dataset.NewCategorical("L", "a", "b"))
+	recs := []dataset.Record{{0}, {0}, {1}}
+	p, err := FromLabeled(meta, recs, []int{0, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MajorityClass() != 0 {
+		t.Fatal("majority class wrong")
+	}
+}

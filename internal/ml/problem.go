@@ -1,0 +1,162 @@
+// Package ml implements the machine-learning substrate of the paper's
+// evaluation (§6.3–6.4): CART classification trees, random forests,
+// AdaBoostM1, regularized logistic regression and linear SVM (huber-hinge),
+// and the differentially private empirical risk minimization of Chaudhuri
+// et al. [9] (output perturbation and objective perturbation) — everything
+// needed to regenerate Tables 3–5 and Figure 2.
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Problem is a supervised classification task over coded records.
+type Problem struct {
+	// Meta describes the attributes referenced by Features.
+	Meta *dataset.Metadata
+	// Features lists the attribute indices classifiers may use.
+	Features []int
+	// Records holds the feature records (label attributes, if any, are
+	// simply absent from Features and ignored).
+	Records []dataset.Record
+	// Labels holds the class of each record, in [0, NumClasses).
+	Labels []int
+	// NumClasses is the number of classes.
+	NumClasses int
+}
+
+// FromDataset builds the "predict attribute target from all others" task of
+// §6.3 (e.g. income classification) directly from a dataset.
+func FromDataset(ds *dataset.Dataset, target int) (*Problem, error) {
+	if target < 0 || target >= ds.NumAttrs() {
+		return nil, fmt.Errorf("ml: target attribute %d out of range", target)
+	}
+	p := &Problem{
+		Meta:       ds.Meta,
+		Records:    ds.Rows(),
+		Labels:     make([]int, ds.Len()),
+		NumClasses: ds.Meta.Attrs[target].Card(),
+	}
+	for a := 0; a < ds.NumAttrs(); a++ {
+		if a != target {
+			p.Features = append(p.Features, a)
+		}
+	}
+	for i, rec := range ds.Rows() {
+		p.Labels[i] = int(rec[target])
+	}
+	return p, nil
+}
+
+// FromLabeled builds a task from records with externally supplied labels —
+// the representation of the distinguishing game of §6.4, where the label
+// (real vs synthetic) is not an attribute of the records.
+func FromLabeled(meta *dataset.Metadata, records []dataset.Record, labels []int, numClasses int) (*Problem, error) {
+	if len(records) != len(labels) {
+		return nil, fmt.Errorf("ml: %d records but %d labels", len(records), len(labels))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("ml: need at least 2 classes, got %d", numClasses)
+	}
+	for i, l := range labels {
+		if l < 0 || l >= numClasses {
+			return nil, fmt.Errorf("ml: label %d of record %d out of range [0,%d)", l, i, numClasses)
+		}
+	}
+	p := &Problem{
+		Meta:       meta,
+		Records:    records,
+		Labels:     labels,
+		NumClasses: numClasses,
+	}
+	for a := range meta.Attrs {
+		p.Features = append(p.Features, a)
+	}
+	return p, nil
+}
+
+// Len returns the number of training instances.
+func (p *Problem) Len() int { return len(p.Records) }
+
+// Subset returns a view of the problem restricted to the given indices.
+func (p *Problem) Subset(idx []int) *Problem {
+	out := &Problem{
+		Meta:       p.Meta,
+		Features:   p.Features,
+		Records:    make([]dataset.Record, len(idx)),
+		Labels:     make([]int, len(idx)),
+		NumClasses: p.NumClasses,
+	}
+	for i, j := range idx {
+		out.Records[i] = p.Records[j]
+		out.Labels[i] = p.Labels[j]
+	}
+	return out
+}
+
+// Split shuffles and splits the problem into train and test parts, with
+// testFrac of the instances going to the test part.
+func (p *Problem) Split(r *rng.RNG, testFrac float64) (train, test *Problem) {
+	idx := r.Perm(p.Len())
+	nTest := int(testFrac * float64(p.Len()))
+	return p.Subset(idx[nTest:]), p.Subset(idx[:nTest])
+}
+
+// MajorityClass returns the most frequent label — the baseline predictor.
+func (p *Problem) MajorityClass() int {
+	counts := make([]int, p.NumClasses)
+	for _, l := range p.Labels {
+		counts[l]++
+	}
+	best := 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Classifier predicts a class for a coded record.
+type Classifier interface {
+	Predict(rec dataset.Record) int
+}
+
+// Accuracy evaluates a classifier on a problem.
+func Accuracy(c Classifier, p *Problem) float64 {
+	if p.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, rec := range p.Records {
+		if c.Predict(rec) == p.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(p.Len())
+}
+
+// AgreementRate is the §6.3 metric: the fraction of records on which two
+// classifiers make the same prediction, regardless of correctness.
+func AgreementRate(a, b Classifier, records []dataset.Record) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	same := 0
+	for _, rec := range records {
+		if a.Predict(rec) == b.Predict(rec) {
+			same++
+		}
+	}
+	return float64(same) / float64(len(records))
+}
+
+// ConstantClassifier always predicts the same class (the "random guessing
+// from the majority class" baseline of the paper's tables).
+type ConstantClassifier int
+
+// Predict implements Classifier.
+func (c ConstantClassifier) Predict(dataset.Record) int { return int(c) }

@@ -1,0 +1,253 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// TreeConfig controls CART training.
+type TreeConfig struct {
+	// MaxDepth caps the tree depth (root = depth 0). Zero means 12.
+	MaxDepth int
+	// MinLeafWeight is the minimum total instance weight per leaf. Zero
+	// means 1.
+	MinLeafWeight float64
+	// FeatureSample, when positive, examines only this many randomly
+	// chosen features per split (random-forest style). Requires Rng.
+	FeatureSample int
+	// Rng supplies randomness for feature sampling.
+	Rng *rng.RNG
+}
+
+func (c *TreeConfig) defaults() {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeafWeight <= 0 {
+		c.MinLeafWeight = 1
+	}
+}
+
+// Tree is a binary CART classification tree over coded records. Numerical
+// attributes split on a code threshold (code ≤ t goes left); categorical
+// attributes split one-vs-rest (code == v goes left).
+type Tree struct {
+	root       *treeNode
+	numClasses int
+}
+
+type treeNode struct {
+	leaf  bool
+	pred  int
+	attr  int
+	kind  dataset.Kind
+	value uint16
+	left  *treeNode
+	right *treeNode
+}
+
+// TrainTree fits a CART tree, optionally with per-instance weights (used by
+// AdaBoostM1). A nil weights slice means uniform weights.
+func TrainTree(p *Problem, weights []float64, cfg TreeConfig) (*Tree, error) {
+	cfg.defaults()
+	if p.Len() == 0 {
+		return nil, fmt.Errorf("ml: training tree on empty problem")
+	}
+	if weights != nil && len(weights) != p.Len() {
+		return nil, fmt.Errorf("ml: %d weights for %d instances", len(weights), p.Len())
+	}
+	if cfg.FeatureSample > 0 && cfg.Rng == nil {
+		return nil, fmt.Errorf("ml: feature sampling requires an RNG")
+	}
+	idx := make([]int, p.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{numClasses: p.NumClasses}
+	t.root = grow(p, weights, idx, 0, cfg)
+	return t, nil
+}
+
+// Predict implements Classifier.
+func (t *Tree) Predict(rec dataset.Record) int {
+	n := t.root
+	for !n.leaf {
+		var goLeft bool
+		if n.kind == dataset.Numerical {
+			goLeft = rec[n.attr] <= n.value
+		} else {
+			goLeft = rec[n.attr] == n.value
+		}
+		if goLeft {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.pred
+}
+
+// Depth returns the depth of the tree (0 for a single leaf).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *treeNode) int {
+	if n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func weightOf(weights []float64, i int) float64 {
+	if weights == nil {
+		return 1
+	}
+	return weights[i]
+}
+
+func grow(p *Problem, weights []float64, idx []int, d int, cfg TreeConfig) *treeNode {
+	classW := make([]float64, p.NumClasses)
+	total := 0.0
+	for _, i := range idx {
+		w := weightOf(weights, i)
+		classW[p.Labels[i]] += w
+		total += w
+	}
+	pred, predW := 0, classW[0]
+	for c, w := range classW {
+		if w > predW {
+			pred, predW = c, w
+		}
+	}
+	if d >= cfg.MaxDepth || predW >= total-1e-12 || total < 2*cfg.MinLeafWeight {
+		return &treeNode{leaf: true, pred: pred}
+	}
+
+	attr, kind, value, gain := bestSplit(p, weights, idx, classW, total, cfg)
+	if gain <= 1e-12 {
+		return &treeNode{leaf: true, pred: pred}
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		var goLeft bool
+		if kind == dataset.Numerical {
+			goLeft = p.Records[i][attr] <= value
+		} else {
+			goLeft = p.Records[i][attr] == value
+		}
+		if goLeft {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &treeNode{leaf: true, pred: pred}
+	}
+	return &treeNode{
+		attr: attr, kind: kind, value: value,
+		left:  grow(p, weights, left, d+1, cfg),
+		right: grow(p, weights, right, d+1, cfg),
+	}
+}
+
+// bestSplit finds the weighted-Gini-optimal binary split over the allowed
+// features. It works from per-code class histograms, so its cost per
+// feature is O(card × classes) rather than O(n log n).
+func bestSplit(p *Problem, weights []float64, idx []int, classW []float64, total float64, cfg TreeConfig) (attr int, kind dataset.Kind, value uint16, gain float64) {
+	parentGini := gini(classW, total)
+	features := p.Features
+	if cfg.FeatureSample > 0 && cfg.FeatureSample < len(features) {
+		perm := cfg.Rng.Perm(len(features))
+		sampled := make([]int, cfg.FeatureSample)
+		for i := range sampled {
+			sampled[i] = features[perm[i]]
+		}
+		features = sampled
+	}
+
+	attr = -1
+	for _, a := range features {
+		card := p.Meta.Attrs[a].Card()
+		// hist[v*C+c] = weight of class c among instances with code v.
+		hist := make([]float64, card*p.NumClasses)
+		codeW := make([]float64, card)
+		for _, i := range idx {
+			v := int(p.Records[i][a])
+			w := weightOf(weights, i)
+			hist[v*p.NumClasses+p.Labels[i]] += w
+			codeW[v] += w
+		}
+		if p.Meta.Attrs[a].Kind == dataset.Numerical {
+			// Threshold splits: sweep prefix sums over the ordered codes.
+			leftW := make([]float64, p.NumClasses)
+			leftTotal := 0.0
+			for v := 0; v < card-1; v++ {
+				for c := 0; c < p.NumClasses; c++ {
+					leftW[c] += hist[v*p.NumClasses+c]
+				}
+				leftTotal += codeW[v]
+				if leftTotal < cfg.MinLeafWeight || total-leftTotal < cfg.MinLeafWeight {
+					continue
+				}
+				g := splitGain(parentGini, leftW, leftTotal, classW, total)
+				if g > gain {
+					attr, kind, value, gain = a, dataset.Numerical, uint16(v), g
+				}
+			}
+		} else {
+			// One-vs-rest splits per value.
+			leftW := make([]float64, p.NumClasses)
+			for v := 0; v < card; v++ {
+				if codeW[v] < cfg.MinLeafWeight || total-codeW[v] < cfg.MinLeafWeight {
+					continue
+				}
+				for c := 0; c < p.NumClasses; c++ {
+					leftW[c] = hist[v*p.NumClasses+c]
+				}
+				g := splitGain(parentGini, leftW, codeW[v], classW, total)
+				if g > gain {
+					attr, kind, value, gain = a, dataset.Categorical, uint16(v), g
+				}
+			}
+		}
+	}
+	return attr, kind, value, gain
+}
+
+// gini returns the Gini impurity of a weighted class histogram.
+func gini(classW []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	s := 1.0
+	for _, w := range classW {
+		p := w / total
+		s -= p * p
+	}
+	return s
+}
+
+// splitGain returns the Gini impurity decrease of a binary split given the
+// left-branch class weights (right = parent − left).
+func splitGain(parentGini float64, leftW []float64, leftTotal float64, classW []float64, total float64) float64 {
+	rightTotal := total - leftTotal
+	if leftTotal <= 0 || rightTotal <= 0 {
+		return 0
+	}
+	giniL := 1.0
+	giniR := 1.0
+	for c, lw := range leftW {
+		pl := lw / leftTotal
+		pr := (classW[c] - lw) / rightTotal
+		giniL -= pl * pl
+		giniR -= pr * pr
+	}
+	return parentGini - (leftTotal*giniL+rightTotal*giniR)/total
+}

@@ -1,0 +1,97 @@
+package privacy
+
+import "fmt"
+
+// CalibrateStructureEps returns the per-entropy budget εH such that the
+// structure-learning total of §3.5 — advanced composition of the m(m+1)
+// noisy entropies plus the noisy record count at epsN — meets targetEps
+// within tolerance. It inverts StructureLearningBudget by bisection.
+func CalibrateStructureEps(m int, targetEps, epsN, deltaL float64) (float64, error) {
+	if targetEps <= epsN {
+		return 0, fmt.Errorf("privacy: structure target ε=%g must exceed εnT=%g", targetEps, epsN)
+	}
+	total := func(epsH float64) float64 {
+		return StructureLearningBudget(m, epsH, epsN, deltaL).Epsilon
+	}
+	lo, hi := 0.0, 1.0
+	for total(hi) < targetEps {
+		hi *= 2
+		if hi > 1e6 {
+			return 0, fmt.Errorf("privacy: structure calibration diverged")
+		}
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if total(mid) < targetEps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// CalibrateParameterEps returns the per-attribute budget εp such that the
+// parameter-learning total of §3.5 (advanced composition over m attributes)
+// meets targetEps. It inverts ParameterLearningBudget by bisection.
+func CalibrateParameterEps(m int, targetEps, deltaP float64) (float64, error) {
+	if targetEps <= 0 {
+		return 0, fmt.Errorf("privacy: parameter target ε must be positive, got %g", targetEps)
+	}
+	total := func(epsP float64) float64 {
+		return ParameterLearningBudget(m, epsP, deltaP).Epsilon
+	}
+	lo, hi := 0.0, 1.0
+	for total(hi) < targetEps {
+		hi *= 2
+		if hi > 1e6 {
+			return 0, fmt.Errorf("privacy: parameter calibration diverged")
+		}
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if total(mid) < targetEps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// ModelNoiseBudgets bundles the calibrated per-mechanism budgets used to
+// train an (targetEps, targetDelta)-DP generative model over m attributes,
+// per the §3.5 analysis: both the structure (on DT) and parameter (on DP)
+// learning totals are calibrated to targetEps, and the model total is their
+// max since DT and DP are disjoint.
+type ModelNoiseBudgets struct {
+	EpsH, EpsN, EpsP float64
+	Structure        Budget
+	Parameters       Budget
+	Model            Budget
+}
+
+// CalibrateModel computes ModelNoiseBudgets for an m-attribute model.
+// epsN is fixed at 5% of the target (the record count needs far less
+// precision than the entropies).
+func CalibrateModel(m int, targetEps, targetDelta float64) (ModelNoiseBudgets, error) {
+	epsN := 0.05 * targetEps
+	slack := targetDelta / 2
+	epsH, err := CalibrateStructureEps(m, targetEps, epsN, slack)
+	if err != nil {
+		return ModelNoiseBudgets{}, err
+	}
+	epsP, err := CalibrateParameterEps(m, targetEps, slack)
+	if err != nil {
+		return ModelNoiseBudgets{}, err
+	}
+	b := ModelNoiseBudgets{
+		EpsH:       epsH,
+		EpsN:       epsN,
+		EpsP:       epsP,
+		Structure:  StructureLearningBudget(m, epsH, epsN, slack),
+		Parameters: ParameterLearningBudget(m, epsP, slack),
+	}
+	b.Model = ModelBudget(b.Structure, b.Parameters)
+	return b, nil
+}

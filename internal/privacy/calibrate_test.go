@@ -1,0 +1,62 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrateStructureEps(t *testing.T) {
+	for _, target := range []float64{0.1, 1, 5} {
+		epsH, err := CalibrateStructureEps(11, target, 0.05*target, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := StructureLearningBudget(11, epsH, 0.05*target, 1e-9).Epsilon
+		if math.Abs(got-target)/target > 1e-6 {
+			t.Errorf("target %g: calibrated total %g", target, got)
+		}
+	}
+}
+
+func TestCalibrateStructureEpsRejectsTightTarget(t *testing.T) {
+	if _, err := CalibrateStructureEps(11, 0.04, 0.05, 1e-9); err == nil {
+		t.Fatal("target below εnT accepted")
+	}
+}
+
+func TestCalibrateParameterEps(t *testing.T) {
+	for _, target := range []float64{0.1, 1, 5} {
+		epsP, err := CalibrateParameterEps(11, target, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ParameterLearningBudget(11, epsP, 1e-9).Epsilon
+		if math.Abs(got-target)/target > 1e-6 {
+			t.Errorf("target %g: calibrated total %g", target, got)
+		}
+	}
+	if _, err := CalibrateParameterEps(11, 0, 1e-9); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+func TestCalibrateModel(t *testing.T) {
+	// The paper's setting: ε = 1, δ ≤ 2^-30 ≈ 1e-9 (§6.1).
+	b, err := CalibrateModel(11, 1, math.Pow(2, -30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Model.Epsilon-1) > 1e-5 {
+		t.Errorf("model epsilon %g, want 1", b.Model.Epsilon)
+	}
+	if b.Model.Delta > math.Pow(2, -30) {
+		t.Errorf("model delta %g exceeds 2^-30", b.Model.Delta)
+	}
+	if b.EpsH <= 0 || b.EpsP <= 0 || b.EpsN <= 0 {
+		t.Errorf("non-positive calibrated budgets: %+v", b)
+	}
+	// Per-entropy budgets must be far below the total (132 compositions).
+	if b.EpsH > 0.1 {
+		t.Errorf("per-entropy epsH %g implausibly large", b.EpsH)
+	}
+}

@@ -1,0 +1,125 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReleasePlan describes the privacy cost of releasing a whole synthetic
+// dataset through the randomized mechanism — the §8 extension of the
+// single-record guarantee of Theorem 1 to n records via the composition
+// theorems.
+type ReleasePlan struct {
+	// Records is the number of released synthetic records.
+	Records int
+	// PerRecord is the Theorem 1 budget of a single release.
+	PerRecord Budget
+	// T is the trade-off parameter chosen for Theorem 1.
+	T int
+	// Sequential is the n-fold sequential composition total.
+	Sequential Budget
+	// Advanced is the n-fold advanced composition total (with the slack
+	// used), which wins for large n.
+	Advanced Budget
+	// Best is the better of the two totals (by ε).
+	Best Budget
+}
+
+// PlanRelease computes the total (ε, δ) of releasing n records with
+// mechanism parameters (k, γ, ε0). perRecordDelta bounds the δ of a single
+// release (it selects t); slack is the advanced-composition δ″ (a value
+// like 1e-9). It returns an error if no t meets perRecordDelta.
+func PlanRelease(n, k int, gamma, eps0, perRecordDelta, slack float64) (*ReleasePlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("privacy: plan needs n >= 1, got %d", n)
+	}
+	per, t, ok := BestReleaseBudget(k, gamma, eps0, perRecordDelta)
+	if !ok {
+		return nil, fmt.Errorf("privacy: no t in [1,%d) achieves per-record delta <= %g with eps0=%g", k, perRecordDelta, eps0)
+	}
+	plan := &ReleasePlan{
+		Records:   n,
+		PerRecord: per,
+		T:         t,
+		Sequential: Budget{
+			Epsilon: float64(n) * per.Epsilon,
+			Delta:   float64(n) * per.Delta,
+		},
+	}
+	if slack > 0 && slack < 1 {
+		plan.Advanced = AdvancedComposition(n, per.Epsilon, per.Delta, slack)
+	} else {
+		plan.Advanced = plan.Sequential
+	}
+	plan.Best = plan.Sequential
+	if plan.Advanced.Epsilon < plan.Best.Epsilon {
+		plan.Best = plan.Advanced
+	}
+	return plan, nil
+}
+
+// MaxRecordsForBudget returns the largest number of records releasable with
+// mechanism parameters (k, γ, ε0) while keeping the total budget within
+// (maxEps, maxDelta) under the better of sequential and advanced
+// composition. It returns 0 if even one record exceeds the budget.
+func MaxRecordsForBudget(k int, gamma, eps0, perRecordDelta, slack, maxEps, maxDelta float64) int {
+	fits := func(n int) bool {
+		plan, err := PlanRelease(n, k, gamma, eps0, perRecordDelta, slack)
+		if err != nil {
+			return false
+		}
+		// Check both composition routes against the target; a plan fits if
+		// either stays within budget.
+		seqOK := plan.Sequential.Epsilon <= maxEps && plan.Sequential.Delta <= maxDelta
+		advOK := plan.Advanced.Epsilon <= maxEps && plan.Advanced.Delta <= maxDelta
+		return seqOK || advOK
+	}
+	if !fits(1) {
+		return 0
+	}
+	// Exponential search then bisection.
+	lo, hi := 1, 2
+	for fits(hi) {
+		lo = hi
+		hi *= 2
+		if hi > 1<<30 {
+			return lo
+		}
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CalibrateEps0ForPlan searches for the ε0 that allows releasing n records
+// within (maxEps, maxDelta): smaller ε0 lowers the per-record ε but raises
+// the per-record δ (for fixed k), so the feasible region is an interval.
+// It returns the largest feasible ε0 found (larger ε0 means the randomized
+// threshold interferes less with utility) or an error if none exists.
+func CalibrateEps0ForPlan(n, k int, gamma, perRecordDelta, slack, maxEps, maxDelta float64) (float64, error) {
+	feasible := func(eps0 float64) bool {
+		plan, err := PlanRelease(n, k, gamma, eps0, perRecordDelta, slack)
+		if err != nil {
+			return false
+		}
+		return plan.Best.Epsilon <= maxEps && plan.Best.Delta <= maxDelta
+	}
+	// Scan a log-spaced grid, then refine around the best hit.
+	best := math.NaN()
+	for exp := -8.0; exp <= 4.0; exp += 0.05 {
+		eps0 := math.Pow(2, exp)
+		if feasible(eps0) {
+			best = eps0
+		}
+	}
+	if math.IsNaN(best) {
+		return 0, fmt.Errorf("privacy: no eps0 releases %d records within (ε=%g, δ=%g)", n, maxEps, maxDelta)
+	}
+	return best, nil
+}

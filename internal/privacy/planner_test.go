@@ -1,0 +1,110 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanReleaseBasics(t *testing.T) {
+	plan, err := PlanRelease(100, 50, 4, 1, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Records != 100 {
+		t.Fatalf("Records = %d", plan.Records)
+	}
+	// Sequential total is exactly n× the per-record budget.
+	if math.Abs(plan.Sequential.Epsilon-100*plan.PerRecord.Epsilon) > 1e-9 {
+		t.Fatal("sequential epsilon not n× per-record")
+	}
+	// Best picks the smaller ε of the two routes. (At per-record ε ≈ 1.13
+	// the k·ε·(e^ε−1) term makes advanced composition lose; it wins in the
+	// small-ε regime, checked below.)
+	if plan.Best.Epsilon != math.Min(plan.Sequential.Epsilon, plan.Advanced.Epsilon) {
+		t.Fatal("Best is not the minimum route")
+	}
+	// The chosen t must meet the per-record delta.
+	if plan.PerRecord.Delta > 1e-9 {
+		t.Fatalf("per-record delta %g exceeds target", plan.PerRecord.Delta)
+	}
+}
+
+func TestPlanReleaseAdvancedWinsAtSmallEps(t *testing.T) {
+	// k=2500, ε0=0.01 → per-record ε ≈ 0.01 + ln(1 + 4/t); the δ target
+	// forces k − t ≥ ~2072, leaving t ≈ 428 and ε ≈ 0.02. Over 10k records
+	// advanced composition is an order of magnitude tighter.
+	plan, err := PlanRelease(10000, 2500, 4, 0.01, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Advanced.Epsilon >= plan.Sequential.Epsilon/5 {
+		t.Fatalf("advanced %g did not clearly beat sequential %g",
+			plan.Advanced.Epsilon, plan.Sequential.Epsilon)
+	}
+	if plan.Best.Epsilon != plan.Advanced.Epsilon {
+		t.Fatal("Best did not pick the advanced route")
+	}
+}
+
+func TestPlanReleaseErrors(t *testing.T) {
+	if _, err := PlanRelease(0, 50, 4, 1, 1e-9, 1e-9); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	// k too small for the delta target at tiny eps0.
+	if _, err := PlanRelease(10, 3, 4, 0.001, 1e-9, 1e-9); err == nil {
+		t.Fatal("infeasible per-record delta accepted")
+	}
+}
+
+func TestMaxRecordsForBudgetMonotone(t *testing.T) {
+	n1 := MaxRecordsForBudget(50, 4, 1, 1e-9, 1e-9, 10, 1e-5)
+	n2 := MaxRecordsForBudget(50, 4, 1, 1e-9, 1e-9, 20, 1e-5)
+	if n1 < 1 {
+		t.Fatalf("no records releasable at ε=10: %d", n1)
+	}
+	if n2 < n1 {
+		t.Fatalf("doubling the budget reduced capacity: %d -> %d", n1, n2)
+	}
+	// The returned n must actually fit and n+1 must not.
+	plan, err := PlanRelease(n1, 50, 4, 1, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Best.Epsilon > 10 || plan.Best.Delta > 1e-5 {
+		t.Fatalf("reported capacity does not fit: %v", plan.Best)
+	}
+	next, err := PlanRelease(n1+1, 50, 4, 1, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqFits := next.Sequential.Epsilon <= 10 && next.Sequential.Delta <= 1e-5
+	advFits := next.Advanced.Epsilon <= 10 && next.Advanced.Delta <= 1e-5
+	if seqFits || advFits {
+		t.Fatalf("capacity %d not maximal", n1)
+	}
+}
+
+func TestMaxRecordsZeroWhenImpossible(t *testing.T) {
+	// One record already costs ε ≈ 1+ln(1+γ/t) > 0.1.
+	if n := MaxRecordsForBudget(50, 4, 1, 1e-9, 1e-9, 0.1, 1e-5); n != 0 {
+		t.Fatalf("impossible budget reported capacity %d", n)
+	}
+}
+
+func TestCalibrateEps0ForPlan(t *testing.T) {
+	eps0, err := CalibrateEps0ForPlan(100, 100, 4, 1e-6, 1e-9, 60, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanRelease(100, 100, 4, eps0, 1e-6, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Best.Epsilon > 60 || plan.Best.Delta > 1e-3 {
+		t.Fatalf("calibrated eps0=%g does not fit: %v", eps0, plan.Best)
+	}
+	// Infeasible target errors out.
+	if _, err := CalibrateEps0ForPlan(1000000, 10, 4, 1e-6, 1e-9, 0.5, 1e-9); err == nil {
+		t.Fatal("infeasible plan calibrated")
+	}
+}

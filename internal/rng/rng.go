@@ -1,0 +1,165 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator together with the non-uniform samplers the synthesis framework
+// needs (Laplace, Gamma, Dirichlet, categorical, ...).
+//
+// The framework depends on determinism in two ways. First, experiments must
+// be reproducible bit-for-bit. Second, and more subtly, the synthesizer tool
+// of the paper (§5) learns differentially private model parameters lazily:
+// each CPT configuration draws its Laplace noise from an RNG stream seeded by
+// a hash of the configuration, so that independent parallel workers
+// materialize the exact same noisy model. NewHashed implements that stream
+// derivation.
+//
+// The generator is xoshiro256** seeded via SplitMix64. It is implemented
+// here rather than taken from math/rand so that streams are stable across Go
+// releases and so that Split/NewHashed can derive independent streams.
+package rng
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random number generator. It is NOT safe for
+// concurrent use; derive one per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used for seeding and for deriving child streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Two generators with
+// the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro256 must not be seeded with the all-zero state; SplitMix64
+	// cannot produce four zero outputs in a row, so this is already
+	// guaranteed, but keep a defensive check.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// NewHashed returns a generator whose seed is derived by hashing the given
+// parts with FNV-64a. It is the stream-derivation primitive used for lazy
+// differentially private parameter learning: every worker that asks for the
+// stream of the same configuration key obtains the same noise.
+func NewHashed(parts ...string) *RNG {
+	h := fnv.New64a()
+	for _, p := range parts {
+		// Length-prefix each part so that ("ab","c") != ("a","bc").
+		var lenBuf [8]byte
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return New(h.Sum64())
+}
+
+// Split derives a new independent generator from r, advancing r. Streams
+// derived by successive Split calls are independent of each other and of the
+// parent's subsequent output.
+func (r *RNG) Split() *RNG {
+	st := r.Uint64() ^ 0xa5a5a5a5deadbeef
+	return New(splitmix64(&st))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, un)
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in (0, 1); it never returns 0, which
+// makes it safe as input to logarithms.
+func (r *RNG) Float64Open() float64 {
+	for {
+		f := r.Float64()
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the given slice in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

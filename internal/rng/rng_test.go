@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestNewHashedStable(t *testing.T) {
+	a := NewHashed("param", "attr=3", "config=17")
+	b := NewHashed("param", "attr=3", "config=17")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("hashed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestNewHashedPartBoundaries(t *testing.T) {
+	// Length prefixing must keep ("ab","c") and ("a","bc") distinct.
+	a := NewHashed("ab", "c")
+	b := NewHashed("a", "bc")
+	diff := false
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("part-boundary collision: (ab,c) == (a,bc)")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children produced %d/100 identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expect := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Errorf("value %d count %d too far from expected %.0f", v, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	if err := quick.Check(func(_ uint64) bool {
+		f := r.Float64()
+		return f >= 0 && f < 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 5, 64} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(21)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	expect := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Errorf("first element %d count %d too far from %.0f", v, c, expect)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(8)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %.4f", got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	cases := []struct {
+		counts []float64
+		want   float64
+	}{
+		{[]float64{1, 1}, 1},               // fair coin: 1 bit
+		{[]float64{1, 1, 1, 1}, 2},         // uniform over 4: 2 bits
+		{[]float64{10, 0}, 0},              // constant: 0 bits
+		{[]float64{3, 1}, 0.8112781244591}, // H(3/4, 1/4)
+		{[]float64{0, 0, 0}, 0},            // empty: defined as 0
+		{[]float64{2, 2, 4}, 1.5},          // H(1/4,1/4,1/2)
+	}
+	for _, c := range cases {
+		got := FromCounts(c.counts).Entropy()
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Entropy(%v) = %.10f, want %.10f", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint64) bool {
+		card := 2 + int(seed%16)
+		d := NewDistribution(card)
+		for i := 0; i < card; i++ {
+			d.Add(i, r.Float64()*10)
+		}
+		h := d.Entropy()
+		return h >= 0 && h <= math.Log2(float64(card))+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromColumn(t *testing.T) {
+	col := []uint16{0, 1, 1, 2, 2, 2}
+	d := FromColumn(col, 4)
+	if d.Total() != 6 {
+		t.Fatalf("Total = %g", d.Total())
+	}
+	wantP := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6, 0}
+	for i, w := range wantP {
+		if math.Abs(d.P(i)-w) > 1e-12 {
+			t.Errorf("P(%d) = %g, want %g", i, d.P(i), w)
+		}
+	}
+}
+
+func TestJointMarginalsAndChainRule(t *testing.T) {
+	a := []uint16{0, 0, 1, 1, 1, 0}
+	b := []uint16{0, 1, 0, 1, 1, 0}
+	j := FromColumns(a, 2, b, 2)
+	// H(X,Y) <= H(X)+H(Y), H(X,Y) >= max(H(X), H(Y)).
+	hx := j.MarginalA().Entropy()
+	hy := j.MarginalB().Entropy()
+	hxy := j.Entropy()
+	if hxy > hx+hy+1e-12 {
+		t.Fatalf("subadditivity violated: %g > %g + %g", hxy, hx, hy)
+	}
+	if hxy < math.Max(hx, hy)-1e-12 {
+		t.Fatalf("monotonicity violated: H(X,Y)=%g < max(%g,%g)", hxy, hx, hy)
+	}
+	// Marginal counts match direct tallies.
+	da := FromColumn(a, 2)
+	ma := j.MarginalA()
+	for v := 0; v < 2; v++ {
+		if math.Abs(da.P(v)-ma.P(v)) > 1e-12 {
+			t.Fatalf("marginal mismatch at %d", v)
+		}
+	}
+}
+
+func TestJointFlattenSumsToOne(t *testing.T) {
+	a := []uint16{0, 1, 2, 0, 1}
+	b := []uint16{1, 1, 0, 0, 1}
+	j := FromColumns(a, 3, b, 2)
+	sum := 0.0
+	for _, p := range j.Flatten() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("flattened joint sums to %g", sum)
+	}
+}
+
+func TestFromColumnsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched columns")
+		}
+	}()
+	FromColumns([]uint16{0}, 2, []uint16{0, 1}, 2)
+}
+
+func TestSymmetricalUncertaintyIdentical(t *testing.T) {
+	col := []uint16{0, 1, 0, 1, 2, 2, 0}
+	su := SymmetricalUncertaintyColumns(col, 3, col, 3)
+	if math.Abs(su-1) > 1e-9 {
+		t.Fatalf("SU(x,x) = %g, want 1", su)
+	}
+}
+
+func TestSymmetricalUncertaintyIndependent(t *testing.T) {
+	// Perfectly balanced independent pair: SU should be ~0.
+	var a, b []uint16
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a = append(a, uint16(i%2))
+			b = append(b, uint16(j%2))
+		}
+	}
+	su := SymmetricalUncertaintyColumns(a, 2, b, 2)
+	if su > 1e-9 {
+		t.Fatalf("SU(independent) = %g, want 0", su)
+	}
+}
+
+func TestSymmetricalUncertaintyRangeAndSymmetry(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 200; trial++ {
+		n := 50
+		a := make([]uint16, n)
+		b := make([]uint16, n)
+		for i := range a {
+			a[i] = uint16(r.Intn(4))
+			b[i] = uint16(r.Intn(3))
+		}
+		s1 := SymmetricalUncertaintyColumns(a, 4, b, 3)
+		s2 := SymmetricalUncertaintyColumns(b, 3, a, 4)
+		if s1 < 0 || s1 > 1 {
+			t.Fatalf("SU out of range: %g", s1)
+		}
+		if math.Abs(s1-s2) > 1e-9 {
+			t.Fatalf("SU asymmetric: %g vs %g", s1, s2)
+		}
+	}
+}
+
+func TestSymmetricalUncertaintyClampsNoisy(t *testing.T) {
+	if su := SymmetricalUncertainty(1, 1, 3); su != 0 {
+		t.Fatalf("SU with huge joint entropy = %g, want clamp to 0", su)
+	}
+	if su := SymmetricalUncertainty(1, 1, -1); su != 1 {
+		t.Fatalf("SU with negative joint entropy = %g, want clamp to 1", su)
+	}
+	if su := SymmetricalUncertainty(0, 0, 0); su != 0 {
+		t.Fatalf("SU of constants = %g, want 0", su)
+	}
+}
+
+func TestTotalVariationProperties(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0, 0.5, 0.5}
+	if d := TotalVariation(p, q); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("TVD = %g, want 0.5", d)
+	}
+	if d := TotalVariation(p, p); d != 0 {
+		t.Fatalf("TVD(p,p) = %g", d)
+	}
+	// Disjoint supports → distance 1.
+	if d := TotalVariation([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("TVD disjoint = %g", d)
+	}
+}
+
+func TestTotalVariationMetricAxioms(t *testing.T) {
+	r := rng.New(5)
+	randDist := func() []float64 {
+		v := r.Dirichlet([]float64{1, 1, 1, 1})
+		return v
+	}
+	for i := 0; i < 200; i++ {
+		p, q, z := randDist(), randDist(), randDist()
+		dpq := TotalVariation(p, q)
+		dqp := TotalVariation(q, p)
+		if math.Abs(dpq-dqp) > 1e-12 {
+			t.Fatal("TVD not symmetric")
+		}
+		if dpq < 0 || dpq > 1+1e-12 {
+			t.Fatalf("TVD out of [0,1]: %g", dpq)
+		}
+		if dpq > TotalVariation(p, z)+TotalVariation(z, q)+1e-12 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestTotalVariationPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	TotalVariation([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestSummarize(t *testing.T) {
+	f := Summarize([]float64{3, 1, 2, 5, 4})
+	if f.Min != 1 || f.Max != 5 || f.Median != 3 {
+		t.Fatalf("summary wrong: %+v", f)
+	}
+	if f.Q1 != 2 || f.Q3 != 4 {
+		t.Fatalf("quartiles wrong: %+v", f)
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Q1 != 7 || one.Median != 7 || one.Q3 != 7 || one.Max != 7 {
+		t.Fatalf("singleton summary wrong: %+v", one)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty summary")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMeanStdDev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(vals); math.Abs(m-5) > 1e-12 {
+		t.Fatalf("Mean = %g", m)
+	}
+	if s := StdDev(vals); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("StdDev = %g", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-slice stats should be 0")
+	}
+}

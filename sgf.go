@@ -1,0 +1,273 @@
+// Package sgf is the public API of the synthetic generation framework: a Go
+// implementation of "Plausible Deniability for Privacy-Preserving Data
+// Synthesis" (Bindschaedler, Shokri, Gunter — VLDB 2017).
+//
+// The framework separates privacy-preserving data release into two
+// independent modules (§2 of the paper):
+//
+//  1. a seed-based generative model — a Bayesian-network-style conditional
+//     model learned with differential privacy (packages bayesnet, privacy) —
+//     that turns a real record into a candidate synthetic record, and
+//  2. a privacy test that releases a candidate only if at least k records
+//     of the input data could have generated it with probability within a
+//     factor γ (plausible deniability, Definition 1). Randomizing the
+//     test's threshold makes the whole mechanism (ε, δ)-differentially
+//     private (Theorem 1).
+//
+// Quickstart:
+//
+//	meta := …                       // schema (see dataset.Metadata)
+//	data := …                       // *sgf.Dataset of real records
+//	out, report, err := sgf.Synthesize(data, sgf.Options{
+//		Records: 10000,
+//		K:       50,
+//		Gamma:   4,
+//		Eps0:    1,
+//		OmegaLo: 5, OmegaHi: 11,
+//		ModelEps: 1, ModelDelta: 1e-9,
+//		Seed: 42,
+//	})
+//
+// The sub-packages remain importable for fine-grained control; this package
+// re-exports the main types and provides the one-call pipeline.
+package sgf
+
+import (
+	"fmt"
+
+	"repro/internal/bayesnet"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// Re-exported data substrate types.
+type (
+	// Dataset is an in-memory table of coded records.
+	Dataset = dataset.Dataset
+	// Record is one coded data row.
+	Record = dataset.Record
+	// Metadata describes a dataset schema.
+	Metadata = dataset.Metadata
+	// Attribute describes one column.
+	Attribute = dataset.Attribute
+	// Bucketizer is the bkt() discretizer used during structure learning.
+	Bucketizer = dataset.Bucketizer
+	// CleanStats summarizes CSV extraction and cleaning.
+	CleanStats = dataset.CleanStats
+)
+
+// Re-exported model types.
+type (
+	// Model is the learned generative model (eq. 2).
+	Model = bayesnet.Model
+	// Structure is the learned dependency structure.
+	Structure = bayesnet.Structure
+	// StructureConfig controls CFS structure learning.
+	StructureConfig = bayesnet.StructureConfig
+	// ModelConfig controls parameter learning.
+	ModelConfig = bayesnet.ModelConfig
+)
+
+// Re-exported core mechanism types.
+type (
+	// Synthesizer is a generative model M with computable Pr{y = M(d)}.
+	Synthesizer = core.Synthesizer
+	// SeedSynthesizer is the seed-based synthesis of §3.2.
+	SeedSynthesizer = core.SeedSynthesizer
+	// MarginalSynthesizer is the independent-marginals baseline.
+	MarginalSynthesizer = core.MarginalSynthesizer
+	// TestConfig parameterizes the plausible deniability privacy test.
+	TestConfig = core.TestConfig
+	// TestResult is one privacy-test outcome.
+	TestResult = core.TestResult
+	// Mechanism is Mechanism 1 of the paper.
+	Mechanism = core.Mechanism
+	// GenStats aggregates a generation run.
+	GenStats = core.GenStats
+	// Budget is an (ε, δ) differential privacy guarantee.
+	Budget = privacy.Budget
+)
+
+// RNG re-exports the deterministic generator used across the framework.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Options parameterizes the one-call Synthesize pipeline.
+type Options struct {
+	// Records is the number of synthetic records to release.
+	Records int
+	// K, Gamma are the plausible deniability parameters of Definition 1
+	// (k ≥ 1, γ > 1).
+	K     int
+	Gamma float64
+	// Eps0 randomizes the test threshold (Privacy Test 2); > 0 makes each
+	// release (ε0+ln(1+γ/t), e^(−ε0(k−t)))-DP per Theorem 1. Zero selects
+	// the deterministic Privacy Test 1 (plausible deniability only).
+	Eps0 float64
+	// OmegaLo/OmegaHi give the per-candidate re-sampled attribute count
+	// range (§3.2); equal values fix ω.
+	OmegaLo, OmegaHi int
+	// ModelEps/ModelDelta set the differential privacy budget of the
+	// generative model itself (§3.5). ModelEps <= 0 trains without noise
+	// (the seeds are still protected by the privacy test).
+	ModelEps   float64
+	ModelDelta float64
+	// Bucketizer optionally coarsens parent configurations (bkt(), §3.3);
+	// nil means no bucketization.
+	Bucketizer *dataset.Bucketizer
+	// MaxCost caps parent-set complexity (eq. 6; 0 = 128).
+	MaxCost float64
+	// MaxPlausible / MaxCheckPlausible are the §5 early-exit knobs
+	// (0 = unlimited).
+	MaxPlausible      int
+	MaxCheckPlausible int
+	// Workers bounds generation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Report describes what a Synthesize run did.
+type Report struct {
+	// Gen aggregates candidate/release counts and timing.
+	Gen GenStats
+	// ModelBudget is the (ε, δ) spent learning the model (zero when the
+	// model was trained without noise).
+	ModelBudget Budget
+	// ReleaseBudget is the per-released-record (ε, δ) of Theorem 1
+	// (zero when the deterministic test was used).
+	ReleaseBudget Budget
+	// Structure is the learned dependency structure.
+	Structure *Structure
+	// Splits records the sizes of the DT/DP/DS partitions used.
+	Splits [3]int
+}
+
+// Synthesize runs the full §3 pipeline on a dataset: split into
+// structure/parameter/seed partitions, learn the (optionally DP) generative
+// model, and release Records synthetics through Mechanism 1 with the
+// (randomized) privacy test.
+func Synthesize(data *Dataset, opts Options) (*Dataset, *Report, error) {
+	if data.Len() < 10 {
+		return nil, nil, fmt.Errorf("sgf: dataset too small (%d records)", data.Len())
+	}
+	if opts.Records <= 0 {
+		return nil, nil, fmt.Errorf("sgf: Records must be positive")
+	}
+	if opts.OmegaLo == 0 && opts.OmegaHi == 0 {
+		opts.OmegaLo, opts.OmegaHi = 1, len(data.Meta.Attrs)
+	}
+	bkt := opts.Bucketizer
+	if bkt == nil {
+		bkt = dataset.NewBucketizer(data.Meta)
+	}
+	r := rng.New(opts.Seed)
+
+	parts, err := data.SplitFrac(r.Split(), 0.25, 0.25, 0.5)
+	if err != nil {
+		return nil, nil, err
+	}
+	dt, dp, ds := parts[0], parts[1], parts[2]
+
+	report := &Report{Splits: [3]int{dt.Len(), dp.Len(), ds.Len()}}
+
+	scfg := StructureConfig{MaxCost: opts.MaxCost, MinCorr: 0.01}
+	mcfg := ModelConfig{Alpha: 1, NoiseKey: fmt.Sprintf("sgf-%d", opts.Seed)}
+	if opts.ModelEps > 0 {
+		delta := opts.ModelDelta
+		if delta <= 0 {
+			delta = 1e-9
+		}
+		budgets, err := privacy.CalibrateModel(len(data.Meta.Attrs), opts.ModelEps, delta)
+		if err != nil {
+			return nil, nil, err
+		}
+		scfg.DP, scfg.EpsH, scfg.EpsN, scfg.Rng = true, budgets.EpsH, budgets.EpsN, r.Split()
+		mcfg.DP, mcfg.EpsP = true, budgets.EpsP
+		report.ModelBudget = budgets.Model
+	}
+
+	st, err := bayesnet.LearnStructure(dt, bkt, scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Structure = st
+	model, err := bayesnet.LearnModel(dp, bkt, st, mcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	syn, err := core.NewSeedSynthesizer(model, opts.OmegaLo, opts.OmegaHi)
+	if err != nil {
+		return nil, nil, err
+	}
+	tc := TestConfig{
+		K:                 opts.K,
+		Gamma:             opts.Gamma,
+		Randomized:        opts.Eps0 > 0,
+		Eps0:              opts.Eps0,
+		MaxPlausible:      opts.MaxPlausible,
+		MaxCheckPlausible: opts.MaxCheckPlausible,
+	}
+	mech, err := core.NewMechanism(syn, ds, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tc.Randomized {
+		if b, ok := mech.ReleaseBudget(1e-6); ok {
+			report.ReleaseBudget = b
+		}
+	}
+
+	out, stats, err := core.GenerateTarget(mech, opts.Records, 0, opts.Workers, opts.Seed+1)
+	report.Gen = stats
+	if err != nil {
+		return out, report, err
+	}
+	return out, report, nil
+}
+
+// LearnStructure re-exports CFS structure learning (§3.3).
+func LearnStructure(dt *Dataset, bkt *Bucketizer, cfg StructureConfig) (*Structure, error) {
+	return bayesnet.LearnStructure(dt, bkt, cfg)
+}
+
+// LearnModel re-exports parameter learning (§3.4).
+func LearnModel(dp *Dataset, bkt *Bucketizer, st *Structure, cfg ModelConfig) (*Model, error) {
+	return bayesnet.LearnModel(dp, bkt, st, cfg)
+}
+
+// NewSeedSynthesizer re-exports the §3.2 synthesizer constructor.
+func NewSeedSynthesizer(model *Model, omegaLo, omegaHi int) (*SeedSynthesizer, error) {
+	return core.NewSeedSynthesizer(model, omegaLo, omegaHi)
+}
+
+// NewMechanism re-exports the Mechanism 1 constructor.
+func NewMechanism(syn Synthesizer, seeds *Dataset, test TestConfig) (*Mechanism, error) {
+	return core.NewMechanism(syn, seeds, test)
+}
+
+// Generate re-exports the parallel generation pipeline.
+func Generate(mech *Mechanism, candidates, workers int, seed uint64) (*Dataset, GenStats, error) {
+	return core.Generate(mech, core.GenConfig{Candidates: candidates, Workers: workers, Seed: seed})
+}
+
+// GenerateTarget re-exports target-count generation.
+func GenerateTarget(mech *Mechanism, target, maxCandidates, workers int, seed uint64) (*Dataset, GenStats, error) {
+	return core.GenerateTarget(mech, target, maxCandidates, workers, seed)
+}
+
+// ReleaseBudget re-exports the Theorem 1 budget computation: the (ε, δ) of
+// one released record for parameters (k, γ, ε0) at trade-off t.
+func ReleaseBudget(k int, gamma, eps0 float64, t int) Budget {
+	return privacy.ReleaseBudget(k, gamma, eps0, t)
+}
+
+// IsPlausiblyDeniable re-exports the Definition 1 verifier.
+func IsPlausiblyDeniable(syn Synthesizer, data *Dataset, seed, y Record, k int, gamma float64) bool {
+	return core.IsPlausiblyDeniable(syn, data, seed, y, k, gamma)
+}
