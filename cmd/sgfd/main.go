@@ -1,0 +1,75 @@
+// Command sgfd serves the plausible-deniability synthesis pipeline over
+// HTTP: fit generative models from uploaded CSVs (or the built-in ACS
+// simulation) and stream privacy-tested synthetic records as NDJSON. See
+// the package documentation of internal/server for the endpoint list and
+// README.md in this directory for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "total synthesis workers shared across requests (0 = GOMAXPROCS)")
+		cacheCap = flag.Int("cache", 8, "maximum resident models (LRU)")
+		maxBody  = flag.Int64("max-upload", 32<<20, "maximum fit request body in bytes")
+		quiet    = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sgfd ", log.LstdFlags)
+	reqLog := logger
+	if *quiet {
+		reqLog = nil
+	}
+	srv := server.New(server.Config{
+		PoolSize:       *workers,
+		CacheCap:       *cacheCap,
+		MaxUploadBytes: *maxBody,
+		Log:            reqLog,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// No WriteTimeout: synthesize streams are legitimately long; the
+		// handler applies a rolling per-batch write deadline instead.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d cache=%d)", *addr, *workers, *cacheCap)
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -97,13 +98,32 @@ type GenConfig struct {
 	Workers int
 	// Seed seeds the run's deterministic RNG tree.
 	Seed uint64
+	// IndexOffset shifts the candidate indices used for RNG stream
+	// derivation: candidate i draws from rng.NewStream(Seed, IndexOffset+i).
+	// A multi-batch driver sets it to the number of candidates already
+	// drawn, so every candidate of the whole run gets a distinct stream
+	// without perturbing the seed (two runs whose seeds differ must never
+	// share streams, which perturbed seeds — e.g. seed+batch — would cause).
+	IndexOffset uint64
 }
 
 // Generate runs Mechanism 1 cfg.Candidates times and returns the released
-// synthetic records. Workers operate on disjoint RNG streams split off a
-// root stream and results are concatenated in worker order, so the released
-// sequence is deterministic for a fixed seed and worker count.
+// synthetic records. See GenerateCtx for the determinism contract.
 func Generate(mech *Mechanism, cfg GenConfig) (*dataset.Dataset, GenStats, error) {
+	return GenerateCtx(context.Background(), mech, cfg)
+}
+
+// GenerateCtx runs Mechanism 1 cfg.Candidates times and returns the released
+// synthetic records, stopping early when ctx is cancelled (the partial
+// output, the stats so far, and ctx's error are returned in that case).
+//
+// Determinism contract: candidate i draws all of its randomness from
+// rng.NewStream(cfg.Seed, i), and releases are concatenated in candidate
+// index order. Workers shard the index space, so the released sequence is
+// byte-identical for a fixed seed REGARDLESS of cfg.Workers — a serving
+// layer may size parallelism to the current load without perturbing
+// results.
+func GenerateCtx(ctx context.Context, mech *Mechanism, cfg GenConfig) (*dataset.Dataset, GenStats, error) {
 	if cfg.Candidates < 0 {
 		return nil, GenStats{}, fmt.Errorf("core: negative candidate count %d", cfg.Candidates)
 	}
@@ -116,52 +136,54 @@ func Generate(mech *Mechanism, cfg GenConfig) (*dataset.Dataset, GenStats, error
 	}
 
 	start := time.Now()
-	root := rng.New(cfg.Seed)
-	streams := make([]*rng.RNG, workers)
-	for w := range streams {
-		streams[w] = root.Split()
-	}
-
 	var (
 		cands    int64
 		pass     int64
 		checked  int64
 		rejected int64
 	)
-	// Per-worker result slots, concatenated in worker order afterwards, so
-	// the released sequence is deterministic for a fixed seed and worker
-	// count (goroutine completion order is not).
-	perWorker := make([][]dataset.Record, workers)
+	// Per-candidate result slots; nil entries (rejected or cancelled) are
+	// squeezed out afterwards, so the released sequence follows candidate
+	// index order whatever the goroutine scheduling.
+	slots := make([]dataset.Record, cfg.Candidates)
+	done := ctx.Done()
 	var wg sync.WaitGroup
+	lo := 0
 	for w := 0; w < workers; w++ {
 		share := cfg.Candidates / workers
 		if w < cfg.Candidates%workers {
 			share++
 		}
 		wg.Add(1)
-		go func(w int, r *rng.RNG, share int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			local := make([]dataset.Record, 0, share/2)
-			for i := 0; i < share; i++ {
-				y, res, ok := mech.Once(r)
+			for i := lo; i < hi; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				y, res, ok := mech.Once(rng.NewStream(cfg.Seed, cfg.IndexOffset+uint64(i)))
 				atomic.AddInt64(&cands, 1)
 				atomic.AddInt64(&checked, int64(res.Checked))
 				if res.SeedProb <= 0 {
 					atomic.AddInt64(&rejected, 1)
 				}
 				if ok {
-					local = append(local, y)
+					slots[i] = y
 					atomic.AddInt64(&pass, 1)
 				}
 			}
-			perWorker[w] = local
-		}(w, streams[w], share)
+		}(lo, lo+share)
+		lo += share
 	}
 	wg.Wait()
 
-	var released []dataset.Record
-	for _, local := range perWorker {
-		released = append(released, local...)
+	released := make([]dataset.Record, 0, pass)
+	for _, y := range slots {
+		if y != nil {
+			released = append(released, y)
+		}
 	}
 	out := dataset.FromRecords(mech.Seeds.Meta, released)
 	stats := GenStats{
@@ -171,7 +193,7 @@ func Generate(mech *Mechanism, cfg GenConfig) (*dataset.Dataset, GenStats, error
 		CheckedTotal: checked,
 		Elapsed:      time.Since(start),
 	}
-	return out, stats, nil
+	return out, stats, ctx.Err()
 }
 
 // GenerateTarget keeps drawing candidates until `target` records have been
@@ -179,38 +201,91 @@ func Generate(mech *Mechanism, cfg GenConfig) (*dataset.Dataset, GenStats, error
 // It is the convenient entry point when a synthetic dataset of a given size
 // is wanted and the pass rate is unknown.
 func GenerateTarget(mech *Mechanism, target, maxCandidates int, workers int, seed uint64) (*dataset.Dataset, GenStats, error) {
+	return GenerateTargetCtx(context.Background(), mech, target, maxCandidates, workers, seed)
+}
+
+// GenerateTargetCtx is GenerateTarget with cancellation: an aborted caller
+// (e.g. a closed HTTP request) stops workers at the next candidate
+// boundary, and what was released so far is returned together with ctx's
+// error.
+func GenerateTargetCtx(ctx context.Context, mech *Mechanism, target, maxCandidates int, workers int, seed uint64) (*dataset.Dataset, GenStats, error) {
+	out := dataset.New(mech.Seeds.Meta)
+	stats, err := GenerateTargetStream(ctx, mech, target, maxCandidates, workers, seed, func(batch []dataset.Record) error {
+		for _, r := range batch {
+			out.Append(r)
+		}
+		return nil
+	})
+	return out, stats, err
+}
+
+// GenerateTargetStream is the incremental form of GenerateTargetCtx: every
+// batch of released records is handed to sink as soon as it is available
+// (never more than `target` records in total), so a serving layer can
+// stream synthetics while generation is still running. sink runs on the
+// caller's goroutine, in deterministic order; a sink error aborts the run.
+// The batching schedule depends only on the released/candidate counts,
+// which — by the GenerateCtx determinism contract — depend only on the
+// seed, so the concatenation of all batches is identical for any worker
+// count.
+func GenerateTargetStream(ctx context.Context, mech *Mechanism, target, maxCandidates int, workers int, seed uint64, sink func(batch []dataset.Record) error) (GenStats, error) {
 	if target <= 0 {
-		return nil, GenStats{}, fmt.Errorf("core: target must be positive, got %d", target)
+		return GenStats{}, fmt.Errorf("core: target must be positive, got %d", target)
 	}
 	if maxCandidates <= 0 {
 		maxCandidates = 100 * target
 	}
-	out := dataset.New(mech.Seeds.Meta)
+	// maxChunk bounds one batch's candidate count, and with it the size of
+	// GenerateCtx's per-candidate slot allocation, whatever target a caller
+	// asks for.
+	const maxChunk = 1 << 20
 	var total GenStats
+	released := 0
 	start := time.Now()
 	chunk := target
-	rootSeed := seed
-	for out.Len() < target && total.Candidates < maxCandidates {
+	for released < target && total.Candidates < maxCandidates {
 		remaining := maxCandidates - total.Candidates
 		if chunk > remaining {
 			chunk = remaining
 		}
-		batch, stats, err := Generate(mech, GenConfig{Candidates: chunk, Workers: workers, Seed: rootSeed})
-		if err != nil {
-			return nil, total, err
+		if chunk > maxChunk {
+			chunk = maxChunk
 		}
-		rootSeed++
+		// One seed for the whole run; batches advance IndexOffset so every
+		// candidate draws a distinct stream keyed on (seed, global index).
+		batch, stats, err := GenerateCtx(ctx, mech, GenConfig{
+			Candidates:  chunk,
+			Workers:     workers,
+			Seed:        seed,
+			IndexOffset: uint64(total.Candidates),
+		})
 		total.Candidates += stats.Candidates
 		total.Released += stats.Released
 		total.CheckedTotal += stats.CheckedTotal
-		for _, r := range batch.Rows() {
-			if out.Len() >= target {
-				break
+		total.SeedRejected += stats.SeedRejected
+		rows := batch.Rows()
+		if keep := target - released; len(rows) > keep {
+			rows = rows[:keep]
+		}
+		released += len(rows)
+		if err != nil {
+			// Cancelled mid-chunk: best-effort delivery of the partial
+			// batch, so "what was released so far" really reaches the
+			// caller; the sink's own error is moot at this point.
+			if len(rows) > 0 {
+				_ = sink(rows)
 			}
-			out.Append(r)
+			total.Elapsed = time.Since(start)
+			return total, err
+		}
+		if len(rows) > 0 {
+			if err := sink(rows); err != nil {
+				total.Elapsed = time.Since(start)
+				return total, err
+			}
 		}
 		// Adapt the next chunk to the observed pass rate.
-		need := target - out.Len()
+		need := target - released
 		if need > 0 {
 			rate := stats.PassRate()
 			if rate < 0.01 {
@@ -220,8 +295,8 @@ func GenerateTarget(mech *Mechanism, target, maxCandidates int, workers int, see
 		}
 	}
 	total.Elapsed = time.Since(start)
-	if out.Len() < target {
-		return out, total, fmt.Errorf("core: released only %d/%d records after %d candidates", out.Len(), target, total.Candidates)
+	if released < target {
+		return total, fmt.Errorf("core: released only %d/%d records after %d candidates", released, target, total.Candidates)
 	}
-	return out, total, nil
+	return total, nil
 }

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzMeta is the fixed schema the fuzzer parses against; the interesting
+// attack surface is the CSV bytes, not the metadata.
+func fuzzMeta() *Metadata {
+	return MustMetadata(
+		NewCategorical("COLOR", "red", "green", "blue"),
+		NewNumerical("GRADE", 0, 3),
+	)
+}
+
+// FuzzReadCSV feeds arbitrary bytes — malformed headers, ragged rows,
+// quoting abuse, non-UTF-8 — through the CSV cleaning pipeline and checks
+// its invariants: no panic, accounting that adds up, only in-domain codes,
+// and a lossless write/read round trip for whatever survived cleaning.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("COLOR,GRADE\nred,0\nblue,3\n")
+	f.Add("GRADE,COLOR,EXTRA\n1,green,junk\n")           // reordered + extra column
+	f.Add("COLOR,GRADE\nred\nblue,2,overflow\n")         // ragged rows
+	f.Add("COLOR,GRADE\nred,?\nNA,1\npurple,2\n")        // missing markers + out of domain
+	f.Add("COLOR,GRADE\n\"red\",\"0\"\n\"gr\neen\",1\n") // quoted fields with newline
+	f.Add("COLOR,GRADE\r\nred,0\r\n")                    // CRLF
+	f.Add("COLOR,GRADE\nred,0\n\xff\xfe,1\n")            // non-UTF-8 bytes
+	f.Add("\xef\xbb\xbfCOLOR,GRADE\nred,0\n")            // BOM in header
+	f.Add("")                                            // empty input
+	f.Add("NOPE\nred,0\n")                               // header missing attributes
+
+	f.Fuzz(func(t *testing.T, csvData string) {
+		meta := fuzzMeta()
+		ds, stats, err := ReadCSV(strings.NewReader(csvData), meta)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		if stats.Clean != ds.Len() {
+			t.Fatalf("stats.Clean = %d but dataset has %d rows", stats.Clean, ds.Len())
+		}
+		if kept := stats.Total - stats.DroppedMissing - stats.DroppedInvalid; kept != stats.Clean {
+			t.Fatalf("accounting broken: total %d - missing %d - invalid %d != clean %d",
+				stats.Total, stats.DroppedMissing, stats.DroppedInvalid, stats.Clean)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("cleaned dataset fails validation: %v", err)
+		}
+
+		// Whatever survived cleaning must round-trip losslessly.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds); err != nil {
+			t.Fatalf("writing cleaned dataset: %v", err)
+		}
+		ds2, stats2, err := ReadCSV(bytes.NewReader(buf.Bytes()), meta)
+		if err != nil {
+			t.Fatalf("re-reading written dataset: %v", err)
+		}
+		if stats2.DroppedMissing != 0 || stats2.DroppedInvalid != 0 {
+			t.Fatalf("round trip dropped rows: %+v", stats2)
+		}
+		if ds2.Len() != ds.Len() {
+			t.Fatalf("round trip changed row count: %d != %d", ds2.Len(), ds.Len())
+		}
+		for i := 0; i < ds.Len(); i++ {
+			if !ds.Row(i).Equal(ds2.Row(i)) {
+				t.Fatalf("round trip changed row %d: %v != %v", i, ds.Row(i), ds2.Row(i))
+			}
+		}
+	})
+}

@@ -70,6 +70,19 @@ func NewHashed(parts ...string) *RNG {
 	return New(h.Sum64())
 }
 
+// NewStream returns the idx-th member of the deterministic stream family
+// rooted at seed. Unlike Split, derivation is stateless: NewStream(s, i) is
+// a pure function of (s, i), so any worker — regardless of how work is
+// sharded — can materialize the stream of a given work item. The generation
+// pipeline keys candidate synthesis on the candidate index this way, which
+// is what makes its output independent of the worker count.
+func NewStream(seed, idx uint64) *RNG {
+	st := seed
+	root := splitmix64(&st)
+	st = root ^ (idx+1)*0x9e3779b97f4a7c15
+	return New(splitmix64(&st))
+}
+
 // Split derives a new independent generator from r, advancing r. Streams
 // derived by successive Split calls are independent of each other and of the
 // parent's subsequent output.

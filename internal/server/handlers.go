@@ -1,0 +1,480 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	sgf "repro"
+	"repro/internal/acs"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// fitRequest is the body of POST /v1/models: either an inline CSV upload
+// with its metadata, or a reference to a built-in dataset.
+type fitRequest struct {
+	// Metadata is the schema in dataset.ReadJSON format (required with CSV).
+	Metadata json.RawMessage `json:"metadata,omitempty"`
+	// CSV is the inline CSV payload (header row + data rows).
+	CSV string `json:"csv,omitempty"`
+	// Dataset references a built-in dataset instead of an upload; the only
+	// built-in is "acs", the §4 ACS simulation.
+	Dataset string `json:"dataset,omitempty"`
+	// Rows sizes a built-in dataset (default 2000).
+	Rows int `json:"rows,omitempty"`
+	// DatasetSeed seeds built-in dataset generation.
+	DatasetSeed uint64 `json:"dataset_seed,omitempty"`
+
+	ModelEps   float64 `json:"model_eps,omitempty"`
+	ModelDelta float64 `json:"model_delta,omitempty"`
+	MaxCost    float64 `json:"max_cost,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+}
+
+// fitResponse answers POST /v1/models.
+type fitResponse struct {
+	ID     string             `json:"id"`
+	State  ModelState         `json:"state"`
+	Cached bool               `json:"cached"`
+	Rows   int                `json:"rows"`
+	Clean  dataset.CleanStats `json:"clean"`
+}
+
+// budgetJSON serializes an (ε, δ) pair.
+type budgetJSON struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+// structureJSON summarizes a learned structure for GET /v1/models/{id}.
+type structureJSON struct {
+	Order   []string            `json:"order"`
+	Parents map[string][]string `json:"parents"`
+	Edges   int                 `json:"edges"`
+}
+
+// statusResponse answers GET /v1/models/{id}.
+type statusResponse struct {
+	ID          string             `json:"id"`
+	State       ModelState         `json:"state"`
+	Error       string             `json:"error,omitempty"`
+	Created     time.Time          `json:"created"`
+	FitMS       int64              `json:"fit_ms"`
+	Rows        int                `json:"rows"`
+	Clean       dataset.CleanStats `json:"clean"`
+	Splits      *[3]int            `json:"splits,omitempty"`
+	ModelBudget *budgetJSON        `json:"model_budget,omitempty"`
+	Structure   *structureJSON     `json:"structure,omitempty"`
+}
+
+// synthRequest is the body of POST /v1/models/{id}/synthesize. Zero values
+// select the documented defaults.
+type synthRequest struct {
+	Records           int     `json:"records"`
+	K                 int     `json:"k"`
+	Gamma             float64 `json:"gamma"`
+	Eps0              float64 `json:"eps0"`
+	OmegaLo           int     `json:"omega_lo"`
+	OmegaHi           int     `json:"omega_hi"`
+	MaxCandidates     int     `json:"max_candidates"`
+	MaxPlausible      int     `json:"max_plausible"`
+	MaxCheckPlausible int     `json:"max_check_plausible"`
+	Workers           int     `json:"workers"`
+	Seed              uint64  `json:"seed"`
+}
+
+// Per-request generation ceilings: one request may not commit the server
+// to unbounded work or allocation (the fit path is bounded the same way by
+// MaxUploadBytes and the built-in rows cap).
+const (
+	maxRecordsPerRequest    = 1_000_000
+	maxCandidatesPerRequest = 100_000_000
+)
+
+// batchWriteTimeout is the rolling deadline for writing one NDJSON batch; a
+// reader stalled longer than this aborts the stream and frees its workers.
+const batchWriteTimeout = 30 * time.Second
+
+// errorJSON is the uniform error body (and mid-stream error line).
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleFit implements POST /v1/models: decode the dataset, register it
+// under its cache key, and kick off a background fit. Identical uploads
+// (same dataset bytes and fit config) return the already-registered model.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req fitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	// A silently ignored typo ("model_epsilon") would fit a model with a
+	// far weaker privacy configuration than the client asked for.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+
+	// Derive the cache key from the raw request first — streamed into the
+	// hasher, never concatenated — so repeat uploads are answered without
+	// re-parsing (or regenerating, or copying) the dataset.
+	hash := sha256.New()
+	rows := req.Rows
+	switch {
+	case req.Dataset != "":
+		if req.Dataset != "acs" {
+			writeError(w, http.StatusBadRequest, "unknown built-in dataset %q (only \"acs\")", req.Dataset)
+			return
+		}
+		if rows == 0 {
+			rows = 2000
+		}
+		if rows < 10 || rows > 1_000_000 {
+			writeError(w, http.StatusBadRequest, "rows must be in [10, 1000000], got %d", rows)
+			return
+		}
+		fmt.Fprintf(hash, "builtin:acs:%d:%d", rows, req.DatasetSeed)
+	case req.CSV != "":
+		if len(req.Metadata) == 0 {
+			writeError(w, http.StatusBadRequest, "csv upload requires metadata")
+			return
+		}
+		// Compacted metadata bytes, so whitespace differences in the
+		// uploaded JSON do not split the cache.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, req.Metadata); err != nil {
+			writeError(w, http.StatusBadRequest, "parsing metadata: %v", err)
+			return
+		}
+		io.WriteString(hash, "upload:")
+		hash.Write(compact.Bytes())
+		io.WriteString(hash, "\x00")
+		io.WriteString(hash, req.CSV)
+	default:
+		writeError(w, http.StatusBadRequest, "request must carry csv+metadata or reference a dataset")
+		return
+	}
+	opts := sgf.FitOptions{
+		ModelEps:   req.ModelEps,
+		ModelDelta: req.ModelDelta,
+		MaxCost:    req.MaxCost,
+		Seed:       req.Seed,
+	}
+	fmt.Fprintf(hash, "|eps=%g|delta=%g|maxcost=%g|seed=%d",
+		opts.ModelEps, opts.ModelDelta, opts.MaxCost, opts.Seed)
+	key := hex.EncodeToString(hash.Sum(nil))
+
+	if entry, ok := s.reg.Lookup(key); ok {
+		state, _ := entry.State()
+		writeJSON(w, http.StatusOK, fitResponse{
+			ID: entry.ID, State: state, Cached: true, Rows: entry.Rows, Clean: entry.Clean,
+		})
+		return
+	}
+	// Refuse over-backlog uploads before the expensive parse; Open below
+	// re-checks authoritatively.
+	if s.reg.PendingFull() {
+		writeError(w, http.StatusTooManyRequests, "%v", ErrTooManyFits)
+		return
+	}
+
+	// Cache miss: build the dataset for real.
+	var (
+		data  *dataset.Dataset
+		clean dataset.CleanStats
+	)
+	if req.Dataset != "" {
+		data = acs.NewPopulation().Generate(rng.New(req.DatasetSeed), rows)
+		clean = dataset.CleanStats{Total: rows, Clean: rows, Unique: data.UniqueCount(), PossibleRecords: data.PossibleRecords()}
+	} else {
+		meta, err := dataset.ReadJSON(bytes.NewReader(req.Metadata))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing metadata: %v", err)
+			return
+		}
+		data, clean, err = dataset.ReadCSV(strings.NewReader(req.CSV), meta)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing csv: %v", err)
+			return
+		}
+	}
+	if data.Len() < 10 {
+		writeError(w, http.StatusBadRequest, "dataset too small after cleaning (%d records)", data.Len())
+		return
+	}
+
+	entry, cached, err := s.reg.Open(key, data, opts, clean)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	state, _ := entry.State()
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, fitResponse{
+		ID:     entry.ID,
+		State:  state,
+		Cached: cached,
+		Rows:   entry.Rows,
+		Clean:  entry.Clean,
+	})
+}
+
+// handleStatus implements GET /v1/models/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, id string) {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", id)
+		return
+	}
+	state, ferr := entry.State()
+	resp := statusResponse{
+		ID:      entry.ID,
+		State:   state,
+		Created: entry.Created,
+		FitMS:   entry.FitDuration().Milliseconds(),
+		Rows:    entry.Rows,
+		Clean:   entry.Clean,
+	}
+	if ferr != nil {
+		resp.Error = ferr.Error()
+	}
+	if state == StateReady {
+		fm, err := entry.Wait(nil)
+		if err == nil {
+			resp.Splits = &fm.Splits
+			resp.ModelBudget = &budgetJSON{Epsilon: fm.ModelBudget.Epsilon, Delta: fm.ModelBudget.Delta}
+			resp.Structure = summarizeStructure(fm)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func summarizeStructure(fm *sgf.FittedModel) *structureJSON {
+	meta := fm.Model.Meta
+	st := fm.Structure
+	out := &structureJSON{
+		Order:   make([]string, len(st.Order)),
+		Parents: make(map[string][]string, len(meta.Attrs)),
+		Edges:   st.Graph.NumEdges(),
+	}
+	for i, attr := range st.Order {
+		out.Order[i] = meta.Attrs[attr].Name
+	}
+	for attr := range meta.Attrs {
+		parents := st.Graph.Parents[attr]
+		names := make([]string, len(parents))
+		for i, p := range parents {
+			names[i] = meta.Attrs[p].Name
+		}
+		out.Parents[meta.Attrs[attr].Name] = names
+	}
+	return out
+}
+
+// handleSynthesize implements POST /v1/models/{id}/synthesize: run
+// Mechanism 1 against the fitted model and stream released records back as
+// NDJSON, one JSON object per record, attributes in schema order. Identical
+// requests (same model, seed and parameters) stream identical bytes
+// whatever the server's concurrency — see core.GenerateCtx.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id string) {
+	entry, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", id)
+		return
+	}
+	var req synthRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// A silently ignored typo ("epsilon0") would run a weaker privacy test
+	// than the client asked for.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Records <= 0 || req.Records > maxRecordsPerRequest {
+		writeError(w, http.StatusBadRequest, "records must be in [1, %d]", maxRecordsPerRequest)
+		return
+	}
+	if req.MaxCandidates < 0 || req.MaxCandidates > maxCandidatesPerRequest {
+		writeError(w, http.StatusBadRequest, "max_candidates must be in [0, %d]", maxCandidatesPerRequest)
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.Gamma == 0 {
+		req.Gamma = 4
+	}
+
+	ctx := r.Context()
+	s.metrics.SynthesizeStart()
+	defer s.metrics.SynthesizeDone()
+
+	// Wait for the background fit; aborted clients stop waiting.
+	fm, err := entry.Wait(ctx.Done())
+	if err != nil {
+		if ctx.Err() != nil {
+			return // client went away
+		}
+		writeError(w, http.StatusConflict, "model %s not usable: %v", id, err)
+		return
+	}
+
+	opts := sgf.SynthOptions{
+		Records:           req.Records,
+		K:                 req.K,
+		Gamma:             req.Gamma,
+		Eps0:              req.Eps0,
+		OmegaLo:           req.OmegaLo,
+		OmegaHi:           req.OmegaHi,
+		MaxCandidates:     req.MaxCandidates,
+		MaxPlausible:      req.MaxPlausible,
+		MaxCheckPlausible: req.MaxCheckPlausible,
+		Seed:              req.Seed,
+	}
+	// Validate the mechanism before committing to a 200 + stream.
+	mech, err := fm.Mechanism(opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Share the sized worker pool across concurrent requests. The grant
+	// size affects latency only, never the streamed bytes.
+	granted, release, err := s.pool.Acquire(ctx, req.Workers)
+	if err != nil {
+		return // client went away while queued
+	}
+	defer release()
+
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Sgf-Model", entry.ID)
+	h.Set("Trailer", "X-Sgf-Candidates, X-Sgf-Released, X-Sgf-Pass-Rate, X-Sgf-Elapsed-Ms")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	meta := fm.Model.Meta
+	enc := newRecordEncoder(meta)
+	rc := http.NewResponseController(w)
+	var buf bytes.Buffer
+	delivered := 0
+	stats, err := sgf.GenerateTargetStream(ctx, mech, opts.Records, opts.MaxCandidates, granted, opts.Seed, func(batch []dataset.Record) error {
+		buf.Reset()
+		for _, rec := range batch {
+			enc.append(&buf, rec)
+		}
+		// Rolling per-batch write deadline: a client that stops reading
+		// cannot pin this handler's pool grant forever (the server sets no
+		// global WriteTimeout, which would kill long legitimate streams).
+		_ = rc.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
+		if _, werr := w.Write(buf.Bytes()); werr != nil {
+			return werr
+		}
+		delivered += len(batch)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	// Count the records actually streamed, keeping the counter consistent
+	// with the X-Sgf-Released trailer (the run can release a few more than
+	// the target in its final batch; those are truncated, not delivered).
+	s.metrics.Generated(delivered, stats.Candidates, stats.CheckedTotal)
+	if err != nil && ctx.Err() == nil {
+		// The status line is gone; surface the failure as a final NDJSON
+		// error line so clients can distinguish truncation from success.
+		buf.Reset()
+		line, _ := json.Marshal(errorJSON{Error: err.Error()})
+		buf.Write(line)
+		buf.WriteByte('\n')
+		w.Write(buf.Bytes())
+	}
+	// Released reports the records actually streamed (the generation run
+	// can release a few more than the target in its final batch).
+	h.Set("X-Sgf-Candidates", fmt.Sprint(stats.Candidates))
+	h.Set("X-Sgf-Released", fmt.Sprint(delivered))
+	h.Set("X-Sgf-Pass-Rate", fmt.Sprintf("%.6f", stats.PassRate()))
+	h.Set("X-Sgf-Elapsed-Ms", fmt.Sprint(stats.Elapsed.Milliseconds()))
+}
+
+// recordEncoder renders records as JSON objects with attributes in schema
+// order (encoding/json maps would sort keys alphabetically). Attribute
+// names and every domain value are JSON-encoded once up front, so the
+// per-record hot path is pure buffer writes.
+type recordEncoder struct {
+	names  [][]byte // `"NAME":` fragments, comma-prefixed after the first
+	values [][][]byte
+}
+
+func newRecordEncoder(meta *dataset.Metadata) *recordEncoder {
+	enc := &recordEncoder{
+		names:  make([][]byte, len(meta.Attrs)),
+		values: make([][][]byte, len(meta.Attrs)),
+	}
+	for i := range meta.Attrs {
+		name, _ := json.Marshal(meta.Attrs[i].Name)
+		if i > 0 {
+			name = append([]byte{','}, name...)
+		}
+		enc.names[i] = append(name, ':')
+		enc.values[i] = make([][]byte, meta.Attrs[i].Card())
+		for code := range enc.values[i] {
+			enc.values[i][code], _ = json.Marshal(meta.Attrs[i].Value(uint16(code)))
+		}
+	}
+	return enc
+}
+
+func (e *recordEncoder) append(buf *bytes.Buffer, rec dataset.Record) {
+	buf.WriteByte('{')
+	for i, code := range rec {
+		buf.Write(e.names[i])
+		buf.Write(e.values[i][code])
+	}
+	buf.WriteString("}\n")
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"models":           s.reg.Len(),
+		"workers":          s.pool.Size(),
+		"workers_in_use":   s.pool.InUse(),
+		"records_released": s.metrics.RecordsReleased(),
+	})
+}
+
+// handleMetrics implements GET /metrics (Prometheus text format).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w)
+}

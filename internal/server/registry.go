@@ -1,0 +1,280 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	sgf "repro"
+	"repro/internal/dataset"
+)
+
+// ErrTooManyFits is returned by Open when the number of models still
+// fitting (or queued to fit) has reached the registry's pending limit; the
+// HTTP layer maps it to 429.
+var ErrTooManyFits = errors.New("server: too many models fitting or queued, retry later")
+
+// ModelState is the lifecycle state of a registry entry.
+type ModelState string
+
+const (
+	// StateFitting means the background fit goroutine is still running.
+	StateFitting ModelState = "fitting"
+	// StateReady means the model can serve synthesize requests.
+	StateReady ModelState = "ready"
+	// StateFailed means fitting ended with an error (recorded on the entry).
+	StateFailed ModelState = "failed"
+)
+
+// ModelEntry is one registered model. ID, Key, Created, Clean and the done
+// channel are immutable after registration; the remaining fields are
+// written exactly once by the fit goroutine before done is closed, so any
+// reader that has observed done closed (or read the state under the
+// registry lock) may read them freely.
+type ModelEntry struct {
+	// ID is the public handle ("m-" + 16 hex digits of the cache key).
+	ID string
+	// Key is the cache key: a hash of the dataset bytes and fit config.
+	Key string
+	// Created is the registration time.
+	Created time.Time
+	// Clean summarizes CSV extraction for uploaded datasets.
+	Clean dataset.CleanStats
+	// Rows is the number of clean input records.
+	Rows int
+
+	// done is closed when fitting finishes, whatever the outcome.
+	done chan struct{}
+
+	mu     sync.Mutex
+	state  ModelState
+	err    error
+	fitted *sgf.FittedModel
+	fitDur time.Duration
+
+	elem *list.Element // LRU position, guarded by the registry lock
+}
+
+// State returns the entry's state and, for StateFailed, the error.
+func (e *ModelEntry) State() (ModelState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state, e.err
+}
+
+// FitDuration returns how long fitting took (zero while fitting).
+func (e *ModelEntry) FitDuration() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fitDur
+}
+
+// Wait blocks until fitting has finished or ctx-style done channel fires,
+// then returns the fitted model or the fit error.
+func (e *ModelEntry) Wait(cancel <-chan struct{}) (*sgf.FittedModel, error) {
+	select {
+	case <-e.done:
+	case <-cancel:
+		return nil, fmt.Errorf("server: cancelled while waiting for model %s", e.ID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.fitted, nil
+}
+
+// Registry holds the server's models: an LRU cache keyed by dataset hash +
+// fit config, with background fitting and de-duplication (two identical
+// uploads share one entry and one fit).
+//
+// Fit load is bounded twice over: at most maxFits sgf.Fit calls run
+// concurrently (the rest queue on fitSem), and at most maxPending entries
+// may be unfinished at once — beyond that Open rejects with ErrTooManyFits,
+// which keeps a burst of uploads from pinning unbounded datasets in memory
+// (unfinished entries are exempt from LRU eviction).
+type Registry struct {
+	metrics *Metrics
+
+	fitSem  chan struct{}
+	fitHook func() // test seam, called in the fit goroutine before learning
+
+	mu      sync.Mutex
+	cap     int
+	pending int // unfinished entries (queued or fitting)
+	maxPend int
+	byID    map[string]*ModelEntry
+	byKey   map[string]*ModelEntry
+	lru     *list.List // front = most recently used; holds *ModelEntry
+}
+
+// NewRegistry returns a registry retaining at most capacity models
+// (capacity <= 0 means 8), running at most maxFits concurrent fits
+// (<= 0 means half of GOMAXPROCS, at least 1) and admitting at most
+// maxPending unfinished models (<= 0 means 32). Models still fitting are
+// never evicted.
+func NewRegistry(capacity, maxFits, maxPending int, metrics *Metrics) *Registry {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	if maxFits <= 0 {
+		maxFits = runtime.GOMAXPROCS(0) / 2
+		if maxFits < 1 {
+			maxFits = 1
+		}
+	}
+	if maxPending <= 0 {
+		maxPending = 32
+	}
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	return &Registry{
+		metrics: metrics,
+		fitSem:  make(chan struct{}, maxFits),
+		cap:     capacity,
+		maxPend: maxPending,
+		byID:    make(map[string]*ModelEntry),
+		byKey:   make(map[string]*ModelEntry),
+		lru:     list.New(),
+	}
+}
+
+// Len returns the number of resident models.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// PendingFull reports whether the pending-fit limit is currently reached.
+// The HTTP layer uses it to refuse uploads before paying to parse them;
+// Open re-checks authoritatively under the same lock.
+func (r *Registry) PendingFull() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending >= r.maxPend
+}
+
+// Lookup returns the entry for a cache key, if resident, marking it most
+// recently used. It lets the HTTP layer answer repeat uploads from the key
+// alone, before paying to parse the dataset.
+func (r *Registry) Lookup(key string) (*ModelEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byKey[key]
+	if ok {
+		r.lru.MoveToFront(e.elem)
+		r.metrics.CacheHit()
+	}
+	return e, ok
+}
+
+// Get returns the entry for id, marking it most recently used.
+func (r *Registry) Get(id string) (*ModelEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	if ok {
+		r.lru.MoveToFront(e.elem)
+	}
+	return e, ok
+}
+
+// Open returns the entry for the given cache key, fitting it in the
+// background on first sight. The boolean reports whether the entry already
+// existed (a cache hit). data/opts/clean are only consulted when a new
+// entry is created. Open fails with ErrTooManyFits when the pending-fit
+// limit is reached.
+func (r *Registry) Open(key string, data *dataset.Dataset, opts sgf.FitOptions, clean dataset.CleanStats) (*ModelEntry, bool, error) {
+	r.mu.Lock()
+	if e, ok := r.byKey[key]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		r.metrics.CacheHit()
+		return e, true, nil
+	}
+	if r.pending >= r.maxPend {
+		r.mu.Unlock()
+		return nil, false, ErrTooManyFits
+	}
+	e := &ModelEntry{
+		ID:      "m-" + key[:16],
+		Key:     key,
+		Created: time.Now(),
+		Clean:   clean,
+		Rows:    data.Len(),
+		done:    make(chan struct{}),
+		state:   StateFitting,
+	}
+	e.elem = r.lru.PushFront(e)
+	r.byID[e.ID] = e
+	r.byKey[key] = e
+	r.pending++
+	r.evictLocked()
+	r.mu.Unlock()
+
+	go r.fit(e, data, opts)
+	return e, false, nil
+}
+
+// fit runs sgf.Fit — gated by the concurrency semaphore — and publishes
+// the outcome.
+func (r *Registry) fit(e *ModelEntry, data *dataset.Dataset, opts sgf.FitOptions) {
+	r.fitSem <- struct{}{}
+	defer func() { <-r.fitSem }()
+	if r.fitHook != nil {
+		r.fitHook()
+	}
+	start := time.Now()
+	fm, err := sgf.Fit(data, opts)
+
+	e.mu.Lock()
+	e.fitDur = time.Since(start)
+	if err != nil {
+		e.state, e.err = StateFailed, err
+	} else {
+		e.state, e.fitted = StateReady, fm
+	}
+	e.mu.Unlock()
+	close(e.done)
+
+	r.mu.Lock()
+	r.pending--
+	// The entry just became evictable; without this, a burst of admitted
+	// fits could leave the cache over capacity until the next Open.
+	r.evictLocked()
+	r.mu.Unlock()
+
+	if err != nil {
+		r.metrics.ModelFailed()
+	} else {
+		r.metrics.ModelFitted()
+	}
+}
+
+// evictLocked drops least-recently-used finished entries until the cache
+// fits. Entries still fitting are skipped: evicting them would orphan the
+// fit goroutine's result. Callers hold r.mu.
+func (r *Registry) evictLocked() {
+	over := len(r.byID) - r.cap
+	for el := r.lru.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		e := el.Value.(*ModelEntry)
+		e.mu.Lock()
+		fitting := e.state == StateFitting
+		e.mu.Unlock()
+		if !fitting {
+			r.lru.Remove(el)
+			delete(r.byID, e.ID)
+			delete(r.byKey, e.Key)
+			over--
+			r.metrics.ModelEvicted()
+		}
+		el = prev
+	}
+}

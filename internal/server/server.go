@@ -1,0 +1,190 @@
+// Package server implements sgfd's HTTP layer: a long-running service
+// exposing the full plausible-deniability pipeline (fit a generative model,
+// then stream privacy-tested synthetic records) to many concurrent clients.
+//
+// Endpoints:
+//
+//	POST /v1/models                  upload a CSV (or reference a built-in
+//	                                 dataset) and fit a model in the
+//	                                 background; returns a model ID
+//	GET  /v1/models/{id}             fit status + structure summary
+//	POST /v1/models/{id}/synthesize  run Mechanism 1 and stream records
+//	                                 back as NDJSON
+//	GET  /healthz                    liveness
+//	GET  /metrics                    Prometheus counters
+//
+// Three pieces make the service safe under load. The model Registry is an
+// LRU cache keyed by dataset hash + fit config, so repeated uploads of the
+// same data share one fit; concurrent fits are bounded by a semaphore and
+// a pending-fit admission limit (429 past it). The WorkerPool bounds total
+// generation parallelism across requests, so N concurrent synthesize calls
+// cannot oversubscribe GOMAXPROCS. And because generation keys every candidate's
+// RNG stream on the candidate index (core.GenerateCtx), a request's output
+// depends only on its seed and parameters — never on how many workers the
+// pool happened to grant — so identical requests are reproducible even on a
+// busy server.
+package server
+
+import (
+	"log"
+	"net/http"
+	"strings"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// PoolSize bounds total synthesis parallelism across all requests
+	// (0 = GOMAXPROCS).
+	PoolSize int
+	// CacheCap is the maximum number of resident models (0 = 8).
+	CacheCap int
+	// MaxConcurrentFits bounds how many model fits run at once
+	// (0 = half of GOMAXPROCS, at least 1).
+	MaxConcurrentFits int
+	// MaxPendingFits bounds how many unfinished models may be queued or
+	// fitting before new uploads are rejected with 429 (0 = 32).
+	MaxPendingFits int
+	// MaxUploadBytes caps a fit request body (0 = 32 MiB).
+	MaxUploadBytes int64
+	// Log receives one line per request; nil disables logging.
+	Log *log.Logger
+}
+
+// Server is the sgfd HTTP handler. Create it with New; the zero value is
+// not usable.
+type Server struct {
+	cfg     Config
+	pool    *WorkerPool
+	reg     *Registry
+	metrics *Metrics
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 32 << 20
+	}
+	metrics := NewMetrics()
+	return &Server{
+		cfg:     cfg,
+		pool:    NewWorkerPool(cfg.PoolSize),
+		reg:     NewRegistry(cfg.CacheCap, cfg.MaxConcurrentFits, cfg.MaxPendingFits, metrics),
+		metrics: metrics,
+	}
+}
+
+// Metrics exposes the server's counters (used by tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusWriter captures the response code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming works
+// through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer (for the
+// per-batch write deadlines of the synthesize stream).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// ServeHTTP routes requests. Routing is by hand (not ServeMux patterns) so
+// the module keeps working under the pre-1.22 mux semantics selected by its
+// go directive.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	handler := s.route(sw, r)
+	if sw.status == 0 {
+		// Nothing was written: the client went away while queued or
+		// waiting on a fit. Log/count it as 499 (client closed request,
+		// nginx convention) rather than a misleading 200.
+		sw.status = 499
+	}
+	s.metrics.Request(handler, sw.status)
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("%s %s -> %d", r.Method, r.URL.Path, sw.status)
+	}
+}
+
+// route dispatches and returns the handler name for metrics.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		if !requireMethod(w, r, http.MethodGet) {
+			return "healthz"
+		}
+		s.handleHealthz(w, r)
+		return "healthz"
+	case path == "/metrics":
+		if !requireMethod(w, r, http.MethodGet) {
+			return "metrics"
+		}
+		s.handleMetrics(w, r)
+		return "metrics"
+	case path == "/v1/models":
+		if !requireMethod(w, r, http.MethodPost) {
+			return "fit"
+		}
+		s.handleFit(w, r)
+		return "fit"
+	case strings.HasPrefix(path, "/v1/models/"):
+		rest := strings.TrimPrefix(path, "/v1/models/")
+		if id, ok := strings.CutSuffix(rest, "/synthesize"); ok {
+			if !validModelID(id) {
+				writeError(w, http.StatusNotFound, "malformed model id %q", id)
+				return "synthesize"
+			}
+			if !requireMethod(w, r, http.MethodPost) {
+				return "synthesize"
+			}
+			s.handleSynthesize(w, r, id)
+			return "synthesize"
+		}
+		if !validModelID(rest) {
+			writeError(w, http.StatusNotFound, "malformed model id %q", rest)
+			return "status"
+		}
+		if !requireMethod(w, r, http.MethodGet) {
+			return "status"
+		}
+		s.handleStatus(w, r, rest)
+		return "status"
+	default:
+		writeError(w, http.StatusNotFound, "no route for %s", path)
+		return "notfound"
+	}
+}
+
+// validModelID rejects ids with path separators or the wrong shape before
+// they reach the registry.
+func validModelID(id string) bool {
+	return id != "" && !strings.ContainsAny(id, "/\\") && strings.HasPrefix(id, "m-")
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, "%s requires %s", r.URL.Path, method)
+		return false
+	}
+	return true
+}

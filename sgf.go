@@ -33,6 +33,7 @@
 package sgf
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bayesnet"
@@ -147,19 +148,47 @@ type Report struct {
 	Splits [3]int
 }
 
-// Synthesize runs the full §3 pipeline on a dataset: split into
-// structure/parameter/seed partitions, learn the (optionally DP) generative
-// model, and release Records synthetics through Mechanism 1 with the
-// (randomized) privacy test.
-func Synthesize(data *Dataset, opts Options) (*Dataset, *Report, error) {
+// FitOptions parameterizes the model-learning half of the pipeline (§3.3 to
+// §3.5): everything up to, but not including, Mechanism 1.
+type FitOptions struct {
+	// ModelEps/ModelDelta set the differential privacy budget of the
+	// generative model (§3.5). ModelEps <= 0 trains without noise.
+	ModelEps   float64
+	ModelDelta float64
+	// Bucketizer optionally coarsens parent configurations; nil means the
+	// metadata's default (no bucketization).
+	Bucketizer *dataset.Bucketizer
+	// MaxCost caps parent-set complexity (eq. 6; 0 = 128).
+	MaxCost float64
+	// Seed drives the dataset split and any model noise.
+	Seed uint64
+}
+
+// FittedModel is a learned generative model together with the seed split it
+// must be paired with: the reusable half of the pipeline. A serving layer
+// fits once and answers many Synthesize calls — with different privacy
+// parameters — against the same fitted model. FittedModel is immutable
+// after Fit returns and safe for concurrent use.
+type FittedModel struct {
+	// Model is the learned conditional model (eq. 2).
+	Model *Model
+	// Structure is the learned dependency structure.
+	Structure *Structure
+	// Seeds is the DS split: the only records Mechanism 1 may use as seeds.
+	Seeds *Dataset
+	// ModelBudget is the (ε, δ) spent learning the model (zero when the
+	// model was trained without noise).
+	ModelBudget Budget
+	// Splits records the sizes of the DT/DP/DS partitions used.
+	Splits [3]int
+}
+
+// Fit runs the learning half of the §3 pipeline: split the dataset into
+// structure/parameter/seed partitions and learn the (optionally DP)
+// generative model. The result can serve any number of Synthesize calls.
+func Fit(data *Dataset, opts FitOptions) (*FittedModel, error) {
 	if data.Len() < 10 {
-		return nil, nil, fmt.Errorf("sgf: dataset too small (%d records)", data.Len())
-	}
-	if opts.Records <= 0 {
-		return nil, nil, fmt.Errorf("sgf: Records must be positive")
-	}
-	if opts.OmegaLo == 0 && opts.OmegaHi == 0 {
-		opts.OmegaLo, opts.OmegaHi = 1, len(data.Meta.Attrs)
+		return nil, fmt.Errorf("sgf: dataset too small (%d records)", data.Len())
 	}
 	bkt := opts.Bucketizer
 	if bkt == nil {
@@ -169,11 +198,11 @@ func Synthesize(data *Dataset, opts Options) (*Dataset, *Report, error) {
 
 	parts, err := data.SplitFrac(r.Split(), 0.25, 0.25, 0.5)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	dt, dp, ds := parts[0], parts[1], parts[2]
 
-	report := &Report{Splits: [3]int{dt.Len(), dp.Len(), ds.Len()}}
+	fm := &FittedModel{Seeds: ds, Splits: [3]int{dt.Len(), dp.Len(), ds.Len()}}
 
 	scfg := StructureConfig{MaxCost: opts.MaxCost, MinCorr: 0.01}
 	mcfg := ModelConfig{Alpha: 1, NoiseKey: fmt.Sprintf("sgf-%d", opts.Seed)}
@@ -184,26 +213,61 @@ func Synthesize(data *Dataset, opts Options) (*Dataset, *Report, error) {
 		}
 		budgets, err := privacy.CalibrateModel(len(data.Meta.Attrs), opts.ModelEps, delta)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		scfg.DP, scfg.EpsH, scfg.EpsN, scfg.Rng = true, budgets.EpsH, budgets.EpsN, r.Split()
 		mcfg.DP, mcfg.EpsP = true, budgets.EpsP
-		report.ModelBudget = budgets.Model
+		fm.ModelBudget = budgets.Model
 	}
 
 	st, err := bayesnet.LearnStructure(dt, bkt, scfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	report.Structure = st
-	model, err := bayesnet.LearnModel(dp, bkt, st, mcfg)
+	fm.Structure = st
+	fm.Model, err = bayesnet.LearnModel(dp, bkt, st, mcfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	return fm, nil
+}
 
-	syn, err := core.NewSeedSynthesizer(model, opts.OmegaLo, opts.OmegaHi)
+// SynthOptions parameterizes the release half of the pipeline: Mechanism 1
+// over an already fitted model.
+type SynthOptions struct {
+	// Records is the number of synthetic records to release.
+	Records int
+	// K, Gamma are the plausible deniability parameters of Definition 1.
+	K     int
+	Gamma float64
+	// Eps0 > 0 selects the randomized Privacy Test 2 (Theorem 1).
+	Eps0 float64
+	// OmegaLo/OmegaHi give the re-sampled attribute count range (§3.2);
+	// both zero means [1, m].
+	OmegaLo, OmegaHi int
+	// MaxCandidates caps the candidates drawn (0 = 100×Records).
+	MaxCandidates int
+	// MaxPlausible / MaxCheckPlausible are the §5 early-exit knobs.
+	MaxPlausible      int
+	MaxCheckPlausible int
+	// Workers bounds generation parallelism (0 = GOMAXPROCS). By the
+	// core.GenerateCtx determinism contract the output does not depend on
+	// it.
+	Workers int
+	// Seed drives all generation randomness.
+	Seed uint64
+}
+
+// Mechanism builds the Mechanism 1 instance for these options over the
+// fitted model.
+func (fm *FittedModel) Mechanism(opts SynthOptions) (*Mechanism, error) {
+	lo, hi := opts.OmegaLo, opts.OmegaHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 1, len(fm.Model.Meta.Attrs)
+	}
+	syn, err := core.NewSeedSynthesizer(fm.Model, lo, hi)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	tc := TestConfig{
 		K:                 opts.K,
@@ -213,22 +277,84 @@ func Synthesize(data *Dataset, opts Options) (*Dataset, *Report, error) {
 		MaxPlausible:      opts.MaxPlausible,
 		MaxCheckPlausible: opts.MaxCheckPlausible,
 	}
-	mech, err := core.NewMechanism(syn, ds, tc)
+	return core.NewMechanism(syn, fm.Seeds, tc)
+}
+
+// Synthesize releases opts.Records synthetic records from the fitted model
+// through Mechanism 1, honouring ctx cancellation.
+func (fm *FittedModel) Synthesize(ctx context.Context, opts SynthOptions) (*Dataset, GenStats, error) {
+	mech, err := fm.Mechanism(opts)
+	if err != nil {
+		return nil, GenStats{}, err
+	}
+	return core.GenerateTargetCtx(ctx, mech, opts.Records, opts.MaxCandidates, opts.Workers, opts.Seed)
+}
+
+// SynthesizeStream is Synthesize with incremental delivery: released
+// batches are handed to sink as soon as they are available, in
+// deterministic order.
+func (fm *FittedModel) SynthesizeStream(ctx context.Context, opts SynthOptions, sink func(batch []Record) error) (GenStats, error) {
+	mech, err := fm.Mechanism(opts)
+	if err != nil {
+		return GenStats{}, err
+	}
+	return core.GenerateTargetStream(ctx, mech, opts.Records, opts.MaxCandidates, opts.Workers, opts.Seed, sink)
+}
+
+// Synthesize runs the full §3 pipeline on a dataset: split into
+// structure/parameter/seed partitions, learn the (optionally DP) generative
+// model, and release Records synthetics through Mechanism 1 with the
+// (randomized) privacy test.
+func Synthesize(data *Dataset, opts Options) (*Dataset, *Report, error) {
+	return SynthesizeCtx(context.Background(), data, opts)
+}
+
+// SynthesizeCtx is Synthesize with cancellation: fitting runs to completion
+// (it is not interruptible), generation stops at the next candidate
+// boundary once ctx is cancelled.
+func SynthesizeCtx(ctx context.Context, data *Dataset, opts Options) (*Dataset, *Report, error) {
+	if opts.Records <= 0 {
+		return nil, nil, fmt.Errorf("sgf: Records must be positive")
+	}
+	fm, err := Fit(data, FitOptions{
+		ModelEps:   opts.ModelEps,
+		ModelDelta: opts.ModelDelta,
+		Bucketizer: opts.Bucketizer,
+		MaxCost:    opts.MaxCost,
+		Seed:       opts.Seed,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	if tc.Randomized {
+	report := &Report{
+		ModelBudget: fm.ModelBudget,
+		Structure:   fm.Structure,
+		Splits:      fm.Splits,
+	}
+	sopts := SynthOptions{
+		Records:           opts.Records,
+		K:                 opts.K,
+		Gamma:             opts.Gamma,
+		Eps0:              opts.Eps0,
+		OmegaLo:           opts.OmegaLo,
+		OmegaHi:           opts.OmegaHi,
+		MaxPlausible:      opts.MaxPlausible,
+		MaxCheckPlausible: opts.MaxCheckPlausible,
+		Workers:           opts.Workers,
+		Seed:              opts.Seed + 1,
+	}
+	mech, err := fm.Mechanism(sopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if mech.Test.Randomized {
 		if b, ok := mech.ReleaseBudget(1e-6); ok {
 			report.ReleaseBudget = b
 		}
 	}
-
-	out, stats, err := core.GenerateTarget(mech, opts.Records, 0, opts.Workers, opts.Seed+1)
+	out, stats, err := core.GenerateTargetCtx(ctx, mech, sopts.Records, sopts.MaxCandidates, sopts.Workers, sopts.Seed)
 	report.Gen = stats
-	if err != nil {
-		return out, report, err
-	}
-	return out, report, nil
+	return out, report, err
 }
 
 // LearnStructure re-exports CFS structure learning (§3.3).
@@ -259,6 +385,17 @@ func Generate(mech *Mechanism, candidates, workers int, seed uint64) (*Dataset, 
 // GenerateTarget re-exports target-count generation.
 func GenerateTarget(mech *Mechanism, target, maxCandidates, workers int, seed uint64) (*Dataset, GenStats, error) {
 	return core.GenerateTarget(mech, target, maxCandidates, workers, seed)
+}
+
+// GenerateTargetCtx re-exports cancellable target-count generation.
+func GenerateTargetCtx(ctx context.Context, mech *Mechanism, target, maxCandidates, workers int, seed uint64) (*Dataset, GenStats, error) {
+	return core.GenerateTargetCtx(ctx, mech, target, maxCandidates, workers, seed)
+}
+
+// GenerateTargetStream re-exports cancellable, incrementally delivered
+// target-count generation (see core.GenerateTargetStream).
+func GenerateTargetStream(ctx context.Context, mech *Mechanism, target, maxCandidates, workers int, seed uint64, sink func(batch []Record) error) (GenStats, error) {
+	return core.GenerateTargetStream(ctx, mech, target, maxCandidates, workers, seed, sink)
 }
 
 // ReleaseBudget re-exports the Theorem 1 budget computation: the (ε, δ) of
