@@ -26,6 +26,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "total synthesis workers shared across requests (0 = GOMAXPROCS)")
 		cacheCap = flag.Int("cache", 8, "maximum resident models (LRU)")
 		maxBody  = flag.Int64("max-upload", 32<<20, "maximum fit request body in bytes")
+		storeDir = flag.String("store-dir", "", "directory for model snapshots; fitted models persist here and warm-start on boot (empty = no persistence)")
+		storeMax = flag.Int64("store-max-bytes", 0, "cap on total snapshot bytes in store-dir, oldest evicted first (0 = unlimited)")
 		quiet    = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
@@ -35,12 +37,17 @@ func main() {
 	if *quiet {
 		reqLog = nil
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		PoolSize:       *workers,
 		CacheCap:       *cacheCap,
 		MaxUploadBytes: *maxBody,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
 		Log:            reqLog,
 	})
+	if err != nil {
+		logger.Fatalf("starting server: %v", err)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -56,7 +63,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d cache=%d)", *addr, *workers, *cacheCap)
+	storeDesc := "none"
+	if *storeDir != "" {
+		storeDesc = *storeDir
+	}
+	logger.Printf("listening on %s (workers=%d cache=%d store=%s)", *addr, *workers, *cacheCap, storeDesc)
 
 	select {
 	case <-ctx.Done():
@@ -65,6 +76,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			logger.Printf("shutdown: %v", err)
+		}
+		// Flush the snapshot store so a model whose write-through snapshot
+		// failed gets one more chance to survive the restart.
+		if err := srv.Close(); err != nil {
+			logger.Printf("store flush: %v", err)
 		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,98 @@
+package sgf
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bayesnet"
+	"repro/internal/dataset"
+	"repro/internal/wire"
+)
+
+// fittedModelVersion versions the FittedModel payload encoding. Bump it on
+// any incompatible layout change; Decode rejects payloads from other
+// versions. The snapshot container around this payload (internal/store) adds
+// its own magic header, format version and checksum.
+const fittedModelVersion = 1
+
+// Encode serializes the complete fitted model — schema, bucketizer state,
+// learned structure, count tables, the DS seed partition, the spent model
+// budget and the split sizes — delegating to the codec hooks of
+// internal/dataset and internal/bayesnet.
+//
+// The encoding is deterministic: the same fitted model always produces the
+// same bytes, whether or not it has served queries (the lazily materialized
+// probability cache is excluded; it is a pure function of what is encoded).
+// A decoded model therefore synthesizes byte-identical output to the
+// original for the same SynthOptions.
+func (fm *FittedModel) Encode(w io.Writer) error {
+	if fm.Model == nil || fm.Structure == nil || fm.Seeds == nil {
+		return fmt.Errorf("sgf: cannot encode incomplete fitted model")
+	}
+	ww := &wire.Writer{}
+	ww.Uvarint(fittedModelVersion)
+	dataset.EncodeMetadata(ww, fm.Model.Meta)
+	dataset.EncodeBucketizer(ww, fm.Model.Bkt)
+	bayesnet.EncodeStructure(ww, fm.Structure)
+	bayesnet.EncodeModel(ww, fm.Model)
+	dataset.EncodeRows(ww, fm.Seeds)
+	ww.Float64(fm.ModelBudget.Epsilon)
+	ww.Float64(fm.ModelBudget.Delta)
+	for _, s := range fm.Splits {
+		ww.Int(s)
+	}
+	_, err := w.Write(ww.Bytes())
+	return err
+}
+
+// DecodeFittedModel reads a fitted model written by Encode, validating every
+// layer (schema, bucket maps, graph acyclicity, count-table shapes, seed
+// records) so a corrupt or hand-crafted payload fails here instead of
+// panicking during synthesis.
+func DecodeFittedModel(r io.Reader) (*FittedModel, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sgf: reading fitted model: %w", err)
+	}
+	rr := wire.NewReader(raw)
+	if v := rr.Uvarint(); v != fittedModelVersion {
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+		}
+		return nil, fmt.Errorf("sgf: unsupported fitted-model version %d (supported: %d)", v, fittedModelVersion)
+	}
+	meta, err := dataset.DecodeMetadata(rr)
+	if err != nil {
+		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+	}
+	bkt, err := dataset.DecodeBucketizer(rr, meta)
+	if err != nil {
+		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+	}
+	st, err := bayesnet.DecodeStructure(rr, len(meta.Attrs))
+	if err != nil {
+		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+	}
+	model, err := bayesnet.DecodeModel(rr, meta, bkt, st)
+	if err != nil {
+		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+	}
+	seeds, err := dataset.DecodeRows(rr, meta)
+	if err != nil {
+		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+	}
+	fm := &FittedModel{
+		Model:     model,
+		Structure: st,
+		Seeds:     seeds,
+	}
+	fm.ModelBudget.Epsilon = rr.Float64()
+	fm.ModelBudget.Delta = rr.Float64()
+	for i := range fm.Splits {
+		fm.Splits[i] = rr.Int()
+	}
+	if err := rr.Done(); err != nil {
+		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+	}
+	return fm, nil
+}

@@ -74,22 +74,23 @@ type Model struct {
 	mu     []sync.RWMutex
 }
 
-// LearnModel tallies the parameter-learning split DP into per-configuration
-// count vectors and returns a ready-to-query model. The heavy part — noise
-// and normalization — happens lazily per configuration.
-func LearnModel(dp *dataset.Dataset, bkt *dataset.Bucketizer, st *Structure, cfg ModelConfig) (*Model, error) {
+// newEmptyModel builds a model shell over the given schema, bucketizer and
+// structure — config normalized, radix tables and empty count/parameter maps
+// in place — ready for LearnModel to tally counts into, or for the snapshot
+// codec to fill with persisted counts.
+func newEmptyModel(meta *dataset.Metadata, bkt *dataset.Bucketizer, st *Structure, cfg ModelConfig) (*Model, error) {
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = 1
 	}
 	if cfg.DP && cfg.EpsP <= 0 {
 		return nil, fmt.Errorf("bayesnet: DP parameter learning needs EpsP > 0")
 	}
-	m := dp.NumAttrs()
+	m := len(meta.Attrs)
 	if st.Graph.NumNodes() != m {
 		return nil, fmt.Errorf("bayesnet: structure has %d nodes, dataset has %d attributes", st.Graph.NumNodes(), m)
 	}
 	model := &Model{
-		Meta:       dp.Meta,
+		Meta:       meta,
 		Bkt:        bkt,
 		Struct:     st,
 		cfg:        cfg,
@@ -111,6 +112,18 @@ func LearnModel(dp *dataset.Dataset, bkt *dataset.Bucketizer, st *Structure, cfg
 		model.counts[i] = make(map[uint32][]float64)
 		model.params[i] = make(map[uint32][]float64)
 	}
+	return model, nil
+}
+
+// LearnModel tallies the parameter-learning split DP into per-configuration
+// count vectors and returns a ready-to-query model. The heavy part — noise
+// and normalization — happens lazily per configuration.
+func LearnModel(dp *dataset.Dataset, bkt *dataset.Bucketizer, st *Structure, cfg ModelConfig) (*Model, error) {
+	model, err := newEmptyModel(dp.Meta, bkt, st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := dp.NumAttrs()
 	// One scan over DP tallies every attribute's counts (the ~n_i^c of
 	// eq. 11).
 	for _, rec := range dp.Rows() {

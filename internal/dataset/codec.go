@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// This file is the dataset half of the model snapshot codec (see
+// sgf.FittedModel.Encode and internal/store): binary encode/decode hooks for
+// the types whose state is not reachable through exported fields. The
+// encoding is deterministic — attribute order is schema order, record order
+// is dataset order — and every decoder validates the result against the
+// schema before returning, so a corrupt payload yields an error rather than
+// a dataset that panics later.
+
+// EncodeMetadata appends the schema: each attribute's name, kind and value
+// domain in order.
+func EncodeMetadata(w *wire.Writer, m *Metadata) {
+	w.Uvarint(uint64(len(m.Attrs)))
+	for i := range m.Attrs {
+		a := &m.Attrs[i]
+		w.String(a.Name)
+		w.Int(int(a.Kind))
+		w.Uvarint(uint64(len(a.Values)))
+		for _, v := range a.Values {
+			w.String(v)
+		}
+	}
+}
+
+// DecodeMetadata reads a schema written by EncodeMetadata and validates it.
+func DecodeMetadata(r *wire.Reader) (*Metadata, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > r.Remaining() {
+		return nil, fmt.Errorf("dataset: snapshot metadata claims %d attributes", n)
+	}
+	m := &Metadata{Attrs: make([]Attribute, 0, n)}
+	for i := 0; i < n; i++ {
+		name := r.ReadString()
+		kind := Kind(r.Int())
+		if kind != Categorical && kind != Numerical {
+			return nil, fmt.Errorf("dataset: snapshot attribute %q has unknown kind %d", name, kind)
+		}
+		nv := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nv <= 0 || nv > r.Remaining()+1 {
+			return nil, fmt.Errorf("dataset: snapshot attribute %q claims %d values", name, nv)
+		}
+		values := make([]string, nv)
+		for j := range values {
+			values[j] = r.ReadString()
+		}
+		a := Attribute{Name: name, Kind: kind, Values: values}
+		a.buildIndex()
+		m.Attrs = append(m.Attrs, a)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: snapshot metadata invalid: %w", err)
+	}
+	return m, nil
+}
+
+// EncodeBucketizer appends the bucketizer's per-attribute bucket maps and
+// cardinalities. The schema itself is encoded separately (EncodeMetadata);
+// decode with the same metadata.
+func EncodeBucketizer(w *wire.Writer, b *Bucketizer) {
+	w.Uvarint(uint64(len(b.maps)))
+	for i := range b.maps {
+		w.Int(b.cards[i])
+		w.Uint16s(b.maps[i])
+	}
+}
+
+// DecodeBucketizer reads a bucketizer written by EncodeBucketizer, bound to
+// the given schema, validating that every map covers its attribute's domain
+// and stays inside the declared bucket count.
+func DecodeBucketizer(r *wire.Reader, meta *Metadata) (*Bucketizer, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n != len(meta.Attrs) {
+		return nil, fmt.Errorf("dataset: snapshot bucketizer covers %d attributes, schema has %d", n, len(meta.Attrs))
+	}
+	b := &Bucketizer{
+		meta:  meta,
+		maps:  make([][]uint16, n),
+		cards: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		card := r.Int()
+		m := r.Uint16s()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if card < 1 || card > meta.Attrs[i].Card() {
+			return nil, fmt.Errorf("dataset: snapshot bucketizer attribute %d has %d buckets, domain has %d values",
+				i, card, meta.Attrs[i].Card())
+		}
+		if len(m) != meta.Attrs[i].Card() {
+			return nil, fmt.Errorf("dataset: snapshot bucketizer attribute %d maps %d codes, domain has %d values",
+				i, len(m), meta.Attrs[i].Card())
+		}
+		for c, bk := range m {
+			if int(bk) >= card {
+				return nil, fmt.Errorf("dataset: snapshot bucketizer attribute %d maps code %d to bucket %d ≥ %d",
+					i, c, bk, card)
+			}
+		}
+		b.cards[i] = card
+		b.maps[i] = m
+	}
+	return b, nil
+}
+
+// EncodeRows appends the dataset's records in order. The schema is encoded
+// separately; decode with the same metadata.
+func EncodeRows(w *wire.Writer, d *Dataset) {
+	w.Uvarint(uint64(len(d.rows)))
+	for _, rec := range d.rows {
+		w.Uint16s(rec)
+	}
+}
+
+// DecodeRows reads records written by EncodeRows into a dataset over the
+// given schema, validating every code against its attribute's domain.
+func DecodeRows(r *wire.Reader, meta *Metadata) (*Dataset, error) {
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	width := len(meta.Attrs)
+	// Each record costs at least 1 length byte + 2 bytes per attribute.
+	if n < 0 || n > r.Remaining()/(1+2*width) {
+		return nil, fmt.Errorf("dataset: snapshot claims %d records in %d bytes", n, r.Remaining())
+	}
+	d := &Dataset{Meta: meta, rows: make([]Record, 0, n)}
+	for i := 0; i < n; i++ {
+		rec := Record(r.Uint16s())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: snapshot record %d has %d attributes, schema has %d", i, len(rec), width)
+		}
+		d.rows = append(d.rows, rec)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: snapshot records invalid: %w", err)
+	}
+	return d, nil
+}

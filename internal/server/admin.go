@@ -1,0 +1,209 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file implements the snapshot-lifecycle admin endpoints:
+//
+//	GET    /v1/models             list models (resident + persisted)
+//	GET    /v1/models/{id}/export download a model's binary snapshot
+//	POST   /v1/models/import      register a snapshot exported elsewhere
+//	DELETE /v1/models/{id}        drop a model and its snapshot
+//
+// Export/import make fitted models transferable between hosts — the
+// groundwork for sharded registries and multi-host serving — and all four
+// work (degraded to memory-only) when no store is configured.
+
+// modelSummary is one element of GET /v1/models.
+type modelSummary struct {
+	ID      string     `json:"id"`
+	State   ModelState `json:"state"`
+	Created *time.Time `json:"created,omitempty"`
+	Rows    int        `json:"rows,omitempty"`
+	FitMS   int64      `json:"fit_ms,omitempty"`
+	// Resident reports whether the model is loaded in memory; Snapshot
+	// whether it has a snapshot on disk (SnapshotBytes its size).
+	Resident      bool  `json:"resident"`
+	Snapshot      bool  `json:"snapshot"`
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+}
+
+// listResponse answers GET /v1/models.
+type listResponse struct {
+	Models []modelSummary   `json:"models"`
+	Store  *storeStatusJSON `json:"store"`
+}
+
+// storeStatusJSON describes the snapshot store on /healthz and GET
+// /v1/models.
+type storeStatusJSON struct {
+	Enabled       bool   `json:"enabled"`
+	Snapshots     int    `json:"snapshots"`
+	Bytes         int64  `json:"bytes"`
+	Loads         int64  `json:"loads"`
+	LoadErrors    int64  `json:"load_errors"`
+	Saves         int64  `json:"saves"`
+	SaveErrors    int64  `json:"save_errors"`
+	LastLoadError string `json:"last_load_error,omitempty"`
+	LastSaveError string `json:"last_save_error,omitempty"`
+}
+
+// storeStatus summarizes the store for /healthz and listings.
+func (s *Server) storeStatus() *storeStatusJSON {
+	if s.store == nil {
+		return &storeStatusJSON{Enabled: false}
+	}
+	st := s.store.Stats()
+	return &storeStatusJSON{
+		Enabled:       true,
+		Snapshots:     st.Count,
+		Bytes:         st.Bytes,
+		Loads:         st.Loads,
+		LoadErrors:    st.LoadErrors,
+		Saves:         st.Saves,
+		SaveErrors:    st.SaveErrors,
+		LastLoadError: st.LastLoadError,
+		LastSaveError: st.LastSaveError,
+	}
+}
+
+// handleListModels implements GET /v1/models: resident entries (most
+// recently used first) followed by snapshots not currently loaded.
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.Entries()
+	resp := listResponse{
+		Models: make([]modelSummary, 0, len(entries)),
+		Store:  s.storeStatus(),
+	}
+	resident := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		resident[e.ID] = true
+		state, _ := e.State()
+		created := e.Created
+		ms := modelSummary{
+			ID:       e.ID,
+			State:    state,
+			Created:  &created,
+			Rows:     e.Rows,
+			FitMS:    e.FitDuration().Milliseconds(),
+			Resident: true,
+		}
+		if s.store != nil && s.store.Has(e.ID) {
+			ms.Snapshot = true
+			ms.SnapshotBytes = s.store.Size(e.ID)
+		}
+		resp.Models = append(resp.Models, ms)
+	}
+	if s.store != nil {
+		for _, id := range s.store.IDs() {
+			if resident[id] {
+				continue
+			}
+			resp.Models = append(resp.Models, modelSummary{
+				ID:            id,
+				State:         StateStored,
+				Snapshot:      true,
+				SnapshotBytes: s.store.Size(id),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExport implements GET /v1/models/{id}/export: the model's snapshot
+// bytes, exactly as persisted when possible, encoded on the fly otherwise
+// (store disabled, or the snapshot was byte-evicted).
+func (s *Server) handleExport(w http.ResponseWriter, _ *http.Request, id string) {
+	var data []byte
+	if s.store != nil {
+		if raw, err := s.store.ReadRaw(id); err == nil {
+			data = raw
+		}
+	}
+	if data == nil {
+		entry, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown model %q", id)
+			return
+		}
+		state, ferr := entry.State()
+		if state != StateReady {
+			writeError(w, http.StatusConflict, "model %s is %s and cannot be exported (%v)", id, state, ferr)
+			return
+		}
+		fm, err := entry.Wait(nil)
+		if err != nil {
+			writeError(w, http.StatusConflict, "model %s not usable: %v", id, err)
+			return
+		}
+		if data, err = s.reg.snapshotFor(entry, fm).Encode(); err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding snapshot: %v", err)
+			return
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".snap"))
+	h.Set("Content-Length", fmt.Sprint(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// handleImport implements POST /v1/models/import: decode and fully validate
+// an uploaded snapshot (magic, checksum, version, then every model layer),
+// register it as a ready model, and persist it when a store is configured.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "snapshot exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading snapshot: %v", err)
+		return
+	}
+	snap, err := store.Decode(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid snapshot: %v", err)
+		return
+	}
+	entry, fresh := s.reg.ImportSnapshot(snap, raw)
+	if entry == nil {
+		writeError(w, http.StatusConflict, "model %s is being deleted; retry", snap.ID)
+		return
+	}
+	status := http.StatusCreated
+	if !fresh {
+		status = http.StatusOK
+	}
+	state, _ := entry.State()
+	writeJSON(w, status, fitResponse{
+		ID:     entry.ID,
+		State:  state,
+		Cached: !fresh,
+		Rows:   entry.Rows,
+		Clean:  entry.Clean,
+	})
+}
+
+// handleDeleteModel implements DELETE /v1/models/{id}.
+func (s *Server) handleDeleteModel(w http.ResponseWriter, _ *http.Request, id string) {
+	switch err := s.reg.Remove(id); {
+	case errors.Is(err, ErrUnknownModel):
+		writeError(w, http.StatusNotFound, "unknown model %q", id)
+	case errors.Is(err, ErrModelFitting):
+		writeError(w, http.StatusConflict, "model %s is still fitting; wait for it to finish", id)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "deleting model %s: %v", id, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}

@@ -146,6 +146,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	rows := req.Rows
 	switch {
 	case req.Dataset != "":
+		// A request naming both a built-in dataset and an upload is
+		// ambiguous; silently ignoring the CSV would fit a different dataset
+		// than the client believes it sent.
+		if req.CSV != "" || len(req.Metadata) > 0 {
+			writeError(w, http.StatusBadRequest,
+				"dataset %q cannot be combined with csv/metadata; send an upload or a dataset reference, not both", req.Dataset)
+			return
+		}
 		if req.Dataset != "acs" {
 			writeError(w, http.StatusBadRequest, "unknown built-in dataset %q (only \"acs\")", req.Dataset)
 			return
@@ -161,6 +169,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	case req.CSV != "":
 		if len(req.Metadata) == 0 {
 			writeError(w, http.StatusBadRequest, "csv upload requires metadata")
+			return
+		}
+		// The built-in-only knobs are excluded from the upload cache key;
+		// accepting them here would silently fit an unconstrained model.
+		if req.Rows != 0 || req.DatasetSeed != 0 {
+			writeError(w, http.StatusBadRequest, "rows/dataset_seed apply to built-in datasets, not csv uploads")
 			return
 		}
 		// Compacted metadata bytes, so whitespace differences in the
@@ -462,7 +476,10 @@ func (e *recordEncoder) append(buf *bytes.Buffer, rec dataset.Record) {
 	buf.WriteString("}\n")
 }
 
-// handleHealthz implements GET /healthz.
+// handleHealthz implements GET /healthz. The store section reports the
+// loaded-model count, the snapshot footprint on disk, and the most recent
+// load/flush errors, so an operator can tell at a glance whether
+// persistence is keeping up.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":           "ok",
@@ -470,6 +487,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"workers":          s.pool.Size(),
 		"workers_in_use":   s.pool.InUse(),
 		"records_released": s.metrics.RecordsReleased(),
+		"store":            s.storeStatus(),
 	})
 }
 
@@ -477,4 +495,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w)
+	if s.store != nil {
+		s.store.WriteMetrics(w)
+	}
 }

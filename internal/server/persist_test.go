@@ -1,0 +1,434 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// storeServer starts a test server persisting to dir.
+func storeServer(t *testing.T, dir string, cacheCap int) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(t, server.Config{
+		PoolSize: 8, CacheCap: cacheCap, StoreDir: dir,
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// scrapeMetric fetches /metrics and returns the named value ("" if absent).
+func scrapeMetric(t *testing.T, ts *httptest.Server, name string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	return ""
+}
+
+func snapFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestWarmStartServesWithoutRefit is the acceptance path: restart sgfd with
+// the same store dir and a previously fitted model serves /synthesize —
+// byte-identically — without refitting.
+func TestWarmStartServesWithoutRefit(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1 := storeServer(t, dir, 4)
+	id := fitTestModel(t, ts1)
+	body1, resp := synthesize(t, ts1, id, baseSynthReq())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status = %d", resp.StatusCode)
+	}
+	if n := len(snapFiles(t, dir)); n != 1 {
+		t.Fatalf("store holds %d snapshots after fit, want 1", n)
+	}
+	ts1.Close()
+
+	// "Restart": a fresh server over the same directory.
+	ts2 := storeServer(t, dir, 4)
+
+	// The model is immediately resident and ready.
+	resp2, err := http.Get(ts2.URL + "/v1/models/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		State  string  `json:"state"`
+		Splits *[3]int `json:"splits"`
+	}
+	decodeJSON(t, resp2, &st)
+	if st.State != "ready" {
+		t.Fatalf("warm-started model state = %q, want ready", st.State)
+	}
+	if st.Splits == nil || st.Splits[0]+st.Splits[1]+st.Splits[2] != 300 {
+		t.Fatalf("warm-started model lost its splits: %v", st.Splits)
+	}
+
+	// An identical fit request is answered from the warm cache.
+	resp3 := postJSON(t, ts2.URL+"/v1/models", map[string]any{
+		"metadata": json.RawMessage(testMetaJSON),
+		"csv":      testCSV(300),
+		"seed":     11,
+	})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("repeat fit status = %d, want 200", resp3.StatusCode)
+	}
+	var fit struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+		State  string `json:"state"`
+	}
+	decodeJSON(t, resp3, &fit)
+	if !fit.Cached || fit.ID != id || fit.State != "ready" {
+		t.Fatalf("repeat fit after restart = %+v, want cached ready %s", fit, id)
+	}
+
+	// Identical synthesize request, identical bytes — and no fit ever ran
+	// in this process.
+	body2, resp4 := synthesize(t, ts2, id, baseSynthReq())
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("warm synthesize status = %d", resp4.StatusCode)
+	}
+	if body2 != body1 {
+		t.Fatal("warm-started model streamed different records than the original fit")
+	}
+	if got := scrapeMetric(t, ts2, "sgfd_models_fitted_total"); got != "0" {
+		t.Fatalf("restarted server fitted %s models, want 0 (warm start should not refit)", got)
+	}
+}
+
+// TestEvictionRemovesSnapshot: LRU eviction deletes the model's snapshot
+// from disk, so an evicted model is gone for good.
+func TestEvictionRemovesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ts := storeServer(t, dir, 1) // capacity 1: the second model evicts the first
+
+	idA := fitTestModel(t, ts)
+	if _, resp := synthesize(t, ts, idA, baseSynthReq()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize A status = %d", resp.StatusCode)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/models", map[string]any{
+		"metadata": json.RawMessage(testMetaJSON),
+		"csv":      testCSV(300),
+		"seed":     12, // different fit config → different model
+	})
+	var fit struct {
+		ID string `json:"id"`
+	}
+	decodeJSON(t, resp, &fit)
+	if fit.ID == idA {
+		t.Fatal("expected a distinct model")
+	}
+	if _, sresp := synthesize(t, ts, fit.ID, baseSynthReq()); sresp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize B status = %d", sresp.StatusCode)
+	}
+
+	// A was evicted when B finished; its snapshot must be gone and the ID
+	// unknown (the store fallback must not resurrect it).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		files := snapFiles(t, dir)
+		if len(files) == 1 && strings.Contains(files[0], fit.ID) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshots on disk = %v, want only %s", files, fit.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sresp, err := http.Get(ts.URL + "/v1/models/" + idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted model status = %d, want 404", sresp.StatusCode)
+	}
+}
+
+// TestModelAdminEndpoints drives the snapshot lifecycle over HTTP: list,
+// export, delete, import.
+func TestModelAdminEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	ts := storeServer(t, dir, 4)
+	id := fitTestModel(t, ts)
+	body1, resp := synthesize(t, ts, id, baseSynthReq())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status = %d", resp.StatusCode)
+	}
+
+	// List: the model is resident with a snapshot on disk.
+	lresp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []struct {
+			ID            string `json:"id"`
+			State         string `json:"state"`
+			Resident      bool   `json:"resident"`
+			Snapshot      bool   `json:"snapshot"`
+			SnapshotBytes int64  `json:"snapshot_bytes"`
+		} `json:"models"`
+		Store struct {
+			Enabled   bool  `json:"enabled"`
+			Snapshots int   `json:"snapshots"`
+			Bytes     int64 `json:"bytes"`
+		} `json:"store"`
+	}
+	decodeJSON(t, lresp, &list)
+	if len(list.Models) != 1 || list.Models[0].ID != id {
+		t.Fatalf("list = %+v, want one entry for %s", list.Models, id)
+	}
+	if m := list.Models[0]; m.State != "ready" || !m.Resident || !m.Snapshot || m.SnapshotBytes <= 0 {
+		t.Fatalf("list entry = %+v", m)
+	}
+	if !list.Store.Enabled || list.Store.Snapshots != 1 || list.Store.Bytes <= 0 {
+		t.Fatalf("list store = %+v", list.Store)
+	}
+
+	// Export: valid snapshot bytes for the model.
+	eresp, err := http.Get(ts.URL + "/v1/models/" + id + "/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(eresp.Body)
+	eresp.Body.Close()
+	if err != nil || eresp.StatusCode != http.StatusOK {
+		t.Fatalf("export status = %d err = %v", eresp.StatusCode, err)
+	}
+	if ct := eresp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("export Content-Type = %q", ct)
+	}
+	snap, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("exported bytes do not decode: %v", err)
+	}
+	if snap.ID != id {
+		t.Fatalf("exported snapshot is for %s, want %s", snap.ID, id)
+	}
+
+	// Delete: model and snapshot both gone.
+	dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/"+id, nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d, want 204", dresp.StatusCode)
+	}
+	if gresp, _ := http.Get(ts.URL + "/v1/models/" + id); gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status after delete = %d, want 404", gresp.StatusCode)
+	}
+	if n := len(snapFiles(t, dir)); n != 0 {
+		t.Fatalf("%d snapshots remain after delete", n)
+	}
+	// Deleting again is a 404.
+	dresp2, _ := http.DefaultClient.Do(dreq)
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status = %d, want 404", dresp2.StatusCode)
+	}
+
+	// Import the exported snapshot: the model comes back and synthesizes
+	// the same bytes as before it ever left.
+	iresp, err := http.Post(ts.URL+"/v1/models/import", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imp struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if iresp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(iresp.Body)
+		t.Fatalf("import status = %d, body %s", iresp.StatusCode, body)
+	}
+	decodeJSON(t, iresp, &imp)
+	if imp.ID != id || imp.State != "ready" {
+		t.Fatalf("import = %+v", imp)
+	}
+	if n := len(snapFiles(t, dir)); n != 1 {
+		t.Fatalf("import persisted %d snapshots, want 1", n)
+	}
+	body2, sresp := synthesize(t, ts, id, baseSynthReq())
+	if sresp.StatusCode != http.StatusOK || body2 != body1 {
+		t.Fatalf("imported model stream differs (status %d)", sresp.StatusCode)
+	}
+
+	// Re-import is idempotent (200, cached).
+	iresp2, err := http.Post(ts.URL+"/v1/models/import", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iresp2.Body.Close()
+	if iresp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-import status = %d, want 200", iresp2.StatusCode)
+	}
+
+	// Garbage is rejected up front.
+	gresp, err := http.Post(ts.URL+"/v1/models/import", "application/octet-stream", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage import status = %d, want 400", gresp.StatusCode)
+	}
+}
+
+// TestFitRejectsMixedDatasetAndUpload: naming a built-in dataset alongside
+// csv/metadata is a 400, not a silently ignored upload.
+func TestFitRejectsMixedDatasetAndUpload(t *testing.T) {
+	ts := newTestServer(t)
+	for _, body := range []map[string]any{
+		{"dataset": "acs", "rows": 300, "csv": "COLOR\nred\n"},
+		{"dataset": "acs", "rows": 300, "metadata": json.RawMessage(testMetaJSON)},
+		{"dataset": "acs", "rows": 300, "csv": "COLOR\nred\n", "metadata": json.RawMessage(testMetaJSON)},
+		// The inverse mix: built-in-only knobs on a CSV upload.
+		{"csv": testCSV(300), "metadata": json.RawMessage(testMetaJSON), "rows": 300},
+		{"csv": testCSV(300), "metadata": json.RawMessage(testMetaJSON), "dataset_seed": 7},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/models", body)
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("mixed fit request %v: status = %d (%s), want 400", body, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestHealthzReportsStore: /healthz carries the store section — loaded
+// models, snapshot bytes on disk, and last load/save errors.
+func TestHealthzReportsStore(t *testing.T) {
+	dir := t.TempDir()
+	// Seed the directory with one corrupt snapshot so warm-start records a
+	// load error and quarantines the file.
+	corruptID := "m-00000000000000ab"
+	if err := os.WriteFile(filepath.Join(dir, corruptID+".snap"), []byte("SGFSNAP\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := storeServer(t, dir, 4)
+	id := fitTestModel(t, ts)
+	if _, resp := synthesize(t, ts, id, baseSynthReq()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+		Store  struct {
+			Enabled       bool   `json:"enabled"`
+			Snapshots     int    `json:"snapshots"`
+			Bytes         int64  `json:"bytes"`
+			LoadErrors    int64  `json:"load_errors"`
+			LastLoadError string `json:"last_load_error"`
+			SaveErrors    int64  `json:"save_errors"`
+		} `json:"store"`
+	}
+	decodeJSON(t, resp, &health)
+	if health.Status != "ok" || health.Models != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	st := health.Store
+	if !st.Enabled || st.Snapshots != 1 || st.Bytes <= 0 {
+		t.Fatalf("healthz store = %+v", st)
+	}
+	if st.LoadErrors != 1 || st.LastLoadError == "" {
+		t.Fatalf("healthz store did not surface the corrupt snapshot: %+v", st)
+	}
+	if st.SaveErrors != 0 {
+		t.Fatalf("unexpected save errors: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, corruptID+".snap.corrupt")); err != nil {
+		t.Errorf("corrupt snapshot was not quarantined: %v", err)
+	}
+
+	// Store metrics are exposed in Prometheus format too.
+	if got := scrapeMetric(t, ts, "sgfd_store_snapshots"); got != "1" {
+		t.Errorf("sgfd_store_snapshots = %q, want 1", got)
+	}
+	if got := scrapeMetric(t, ts, "sgfd_store_load_errors_total"); got != "1" {
+		t.Errorf("sgfd_store_load_errors_total = %q, want 1", got)
+	}
+
+	// Without a store dir the section reports disabled.
+	ts2 := httptest.NewServer(newServer(t, server.Config{PoolSize: 2}))
+	t.Cleanup(ts2.Close)
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health2 struct {
+		Store struct {
+			Enabled bool `json:"enabled"`
+		} `json:"store"`
+	}
+	decodeJSON(t, resp2, &health2)
+	if health2.Store.Enabled {
+		t.Fatal("store reported enabled without a store dir")
+	}
+}
+
+// TestServerCloseFlushes: Close persists ready models whose snapshot is
+// missing (the graceful-shutdown second chance).
+func TestServerCloseFlushes(t *testing.T) {
+	dir := t.TempDir()
+	srv := newServer(t, server.Config{PoolSize: 4, CacheCap: 4, StoreDir: dir})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	id := fitTestModel(t, ts)
+	if _, resp := synthesize(t, ts, id, baseSynthReq()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status = %d", resp.StatusCode)
+	}
+
+	// Simulate a lost snapshot (e.g. byte-evicted or a failed write).
+	for _, f := range snapFiles(t, dir) {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files := snapFiles(t, dir)
+	if len(files) != 1 || !strings.Contains(files[0], id) {
+		t.Fatalf("flush wrote %v, want one snapshot for %s", files, id)
+	}
+}

@@ -75,7 +75,7 @@ func waitReady(t *testing.T, e *ModelEntry) {
 }
 
 func TestRegistryLRUEviction(t *testing.T) {
-	reg := NewRegistry(2, 0, 0, NewMetrics())
+	reg := NewRegistry(2, 0, 0, NewMetrics(), nil)
 
 	data, clean := tinyFitData(1)
 	e1, cached, err := reg.Open("1111111111111111aa", data, sgf.FitOptions{}, clean)
@@ -118,7 +118,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 }
 
 func TestRegistryPendingFitLimit(t *testing.T) {
-	reg := NewRegistry(8, 1, 2, NewMetrics())
+	reg := NewRegistry(8, 1, 2, NewMetrics(), nil)
 	gate := make(chan struct{})
 	reg.fitHook = func() { <-gate }
 	data, clean := tinyFitData(3)
@@ -152,7 +152,7 @@ func TestRegistryPendingFitLimit(t *testing.T) {
 }
 
 func TestRegistryDeduplicatesConcurrentOpens(t *testing.T) {
-	reg := NewRegistry(4, 0, 0, NewMetrics())
+	reg := NewRegistry(4, 0, 0, NewMetrics(), nil)
 	data, clean := tinyFitData(2)
 
 	const n = 16

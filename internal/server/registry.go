@@ -10,12 +10,22 @@ import (
 
 	sgf "repro"
 	"repro/internal/dataset"
+	"repro/internal/store"
 )
 
 // ErrTooManyFits is returned by Open when the number of models still
 // fitting (or queued to fit) has reached the registry's pending limit; the
 // HTTP layer maps it to 429.
 var ErrTooManyFits = errors.New("server: too many models fitting or queued, retry later")
+
+// ErrUnknownModel is returned by Remove for an ID that is neither resident
+// nor persisted; the HTTP layer maps it to 404.
+var ErrUnknownModel = errors.New("server: unknown model")
+
+// ErrModelFitting is returned by Remove while the model's fit goroutine is
+// still running (removing it would orphan the result); the HTTP layer maps
+// it to 409.
+var ErrModelFitting = errors.New("server: model is still fitting")
 
 // ModelState is the lifecycle state of a registry entry.
 type ModelState string
@@ -27,13 +37,17 @@ const (
 	StateReady ModelState = "ready"
 	// StateFailed means fitting ended with an error (recorded on the entry).
 	StateFailed ModelState = "failed"
+	// StateStored marks a model that exists only as a snapshot on disk, not
+	// (yet) loaded into the registry. It appears in listings; loading happens
+	// lazily on first use.
+	StateStored ModelState = "stored"
 )
 
-// ModelEntry is one registered model. ID, Key, Created, Clean and the done
-// channel are immutable after registration; the remaining fields are
-// written exactly once by the fit goroutine before done is closed, so any
-// reader that has observed done closed (or read the state under the
-// registry lock) may read them freely.
+// ModelEntry is one registered model. ID, Key, Created, Clean, Rows, Opts
+// and the done channel are immutable after registration; the remaining
+// fields are written exactly once by the fit goroutine before done is
+// closed, so any reader that has observed done closed (or read the state
+// under the registry lock) may read them freely.
 type ModelEntry struct {
 	// ID is the public handle ("m-" + 16 hex digits of the cache key).
 	ID string
@@ -45,6 +59,8 @@ type ModelEntry struct {
 	Clean dataset.CleanStats
 	// Rows is the number of clean input records.
 	Rows int
+	// Opts echoes the fit configuration (for snapshots and listings).
+	Opts sgf.FitOptions
 
 	// done is closed when fitting finishes, whatever the outcome.
 	done chan struct{}
@@ -65,7 +81,8 @@ func (e *ModelEntry) State() (ModelState, error) {
 	return e.state, e.err
 }
 
-// FitDuration returns how long fitting took (zero while fitting).
+// FitDuration returns how long fitting took (zero while fitting, and for
+// entries restored from a snapshot the original fit's duration).
 func (e *ModelEntry) FitDuration() time.Duration {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -97,8 +114,16 @@ func (e *ModelEntry) Wait(cancel <-chan struct{}) (*sgf.FittedModel, error) {
 // may be unfinished at once — beyond that Open rejects with ErrTooManyFits,
 // which keeps a burst of uploads from pinning unbounded datasets in memory
 // (unfinished entries are exempt from LRU eviction).
+//
+// With a store attached the registry is write-through: a model is
+// snapshotted to disk the moment its fit succeeds (before it becomes
+// visible, so it can never be evicted un-persisted), LRU eviction deletes
+// the snapshot along with the entry, and cache misses fall back to the
+// store — WarmStart pre-loads the newest snapshots at boot and Get/Lookup
+// lazily load anything the warm start skipped.
 type Registry struct {
 	metrics *Metrics
+	store   *store.Store // nil = no persistence
 
 	fitSem  chan struct{}
 	fitHook func() // test seam, called in the fit goroutine before learning
@@ -110,14 +135,18 @@ type Registry struct {
 	byID    map[string]*ModelEntry
 	byKey   map[string]*ModelEntry
 	lru     *list.List // front = most recently used; holds *ModelEntry
+	// removing tombstones IDs with a Remove in flight, so the lazy store
+	// fallback cannot resurrect a model between the registry drop and the
+	// snapshot deletion.
+	removing map[string]int
 }
 
 // NewRegistry returns a registry retaining at most capacity models
 // (capacity <= 0 means 8), running at most maxFits concurrent fits
 // (<= 0 means half of GOMAXPROCS, at least 1) and admitting at most
 // maxPending unfinished models (<= 0 means 32). Models still fitting are
-// never evicted.
-func NewRegistry(capacity, maxFits, maxPending int, metrics *Metrics) *Registry {
+// never evicted. st may be nil (no persistence).
+func NewRegistry(capacity, maxFits, maxPending int, metrics *Metrics, st *store.Store) *Registry {
 	if capacity <= 0 {
 		capacity = 8
 	}
@@ -134,15 +163,20 @@ func NewRegistry(capacity, maxFits, maxPending int, metrics *Metrics) *Registry 
 		metrics = NewMetrics()
 	}
 	return &Registry{
-		metrics: metrics,
-		fitSem:  make(chan struct{}, maxFits),
-		cap:     capacity,
-		maxPend: maxPending,
-		byID:    make(map[string]*ModelEntry),
-		byKey:   make(map[string]*ModelEntry),
-		lru:     list.New(),
+		metrics:  metrics,
+		store:    st,
+		fitSem:   make(chan struct{}, maxFits),
+		cap:      capacity,
+		maxPend:  maxPending,
+		byID:     make(map[string]*ModelEntry),
+		byKey:    make(map[string]*ModelEntry),
+		lru:      list.New(),
+		removing: make(map[string]int),
 	}
 }
+
+// Store returns the registry's snapshot store (nil without persistence).
+func (r *Registry) Store() *store.Store { return r.store }
 
 // Len returns the number of resident models.
 func (r *Registry) Len() int {
@@ -160,29 +194,280 @@ func (r *Registry) PendingFull() bool {
 	return r.pending >= r.maxPend
 }
 
-// Lookup returns the entry for a cache key, if resident, marking it most
-// recently used. It lets the HTTP layer answer repeat uploads from the key
-// alone, before paying to parse the dataset.
+// Lookup returns the entry for a cache key, if resident or persisted,
+// marking it most recently used. It lets the HTTP layer answer repeat
+// uploads from the key alone, before paying to parse the dataset — across
+// restarts too, since model IDs are derived from cache keys.
 func (r *Registry) Lookup(key string) (*ModelEntry, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.byKey[key]
 	if ok {
 		r.lru.MoveToFront(e.elem)
-		r.metrics.CacheHit()
 	}
-	return e, ok
+	r.mu.Unlock()
+	if !ok {
+		if len(key) < 16 {
+			return nil, false
+		}
+		if e, ok = r.loadFromStore("m-" + key[:16]); !ok || e.Key != key {
+			return nil, false
+		}
+	}
+	r.metrics.CacheHit()
+	return e, true
 }
 
-// Get returns the entry for id, marking it most recently used.
+// Get returns the entry for id, marking it most recently used. A miss falls
+// back to the snapshot store.
 func (r *Registry) Get(id string) (*ModelEntry, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.byID[id]
 	if ok {
 		r.lru.MoveToFront(e.elem)
 	}
-	return e, ok
+	r.mu.Unlock()
+	if ok {
+		return e, true
+	}
+	return r.loadFromStore(id)
+}
+
+// loadFromStore revives a persisted model into the registry. Decode
+// failures are handled (and the file quarantined) by the store; here they
+// just read as a miss. A concurrent Remove wins: the load refuses to
+// resurrect an ID with a deletion in flight, and undoes itself if the
+// snapshot vanished between the read and the insert.
+func (r *Registry) loadFromStore(id string) (*ModelEntry, bool) {
+	if r.store == nil || !store.ValidID(id) {
+		return nil, false
+	}
+	snap, err := r.store.Get(id)
+	if err != nil {
+		return nil, false
+	}
+	e, fresh := r.insertSnapshot(snap)
+	if e == nil {
+		return nil, false // Remove in flight
+	}
+	if fresh && !r.store.Has(id) {
+		// The snapshot was deleted while we were decoding it: a Remove ran
+		// to completion in between. Honour the deletion.
+		r.mu.Lock()
+		if r.byID[id] == e {
+			r.lru.Remove(e.elem)
+			delete(r.byID, e.ID)
+			delete(r.byKey, e.Key)
+		}
+		r.mu.Unlock()
+		return nil, false
+	}
+	return e, true
+}
+
+// insertSnapshot registers a decoded snapshot as a ready entry. If the ID
+// is already resident (a concurrent load, or a fit racing a lazy load) the
+// existing entry wins and fresh is false. A nil entry means a Remove for
+// this ID is in flight and the insert was refused.
+func (r *Registry) insertSnapshot(snap *store.Snapshot) (e *ModelEntry, fresh bool) {
+	done := make(chan struct{})
+	close(done)
+	e = &ModelEntry{
+		ID:      snap.ID,
+		Key:     snap.Key,
+		Created: snap.Created,
+		Clean:   snap.Clean,
+		Rows:    snap.Rows,
+		Opts: sgf.FitOptions{
+			ModelEps:   snap.ModelEps,
+			ModelDelta: snap.ModelDelta,
+			MaxCost:    snap.MaxCost,
+			Seed:       snap.Seed,
+		},
+		done:   done,
+		state:  StateReady,
+		fitted: snap.Model,
+		fitDur: snap.FitDuration,
+	}
+	r.mu.Lock()
+	if r.removing[e.ID] > 0 {
+		r.mu.Unlock()
+		return nil, false
+	}
+	if prev, ok := r.byID[e.ID]; ok {
+		r.lru.MoveToFront(prev.elem)
+		r.mu.Unlock()
+		return prev, false
+	}
+	e.elem = r.lru.PushFront(e)
+	r.byID[e.ID] = e
+	r.byKey[e.Key] = e
+	evicted := r.evictLocked()
+	r.mu.Unlock()
+	r.dropSnapshots(evicted)
+	return e, true
+}
+
+// ImportSnapshot registers an externally supplied snapshot and persists it
+// when a store is configured. raw must be the encoded bytes snap was
+// decoded from (persisted as-is, skipping a re-encode); pass nil to encode
+// from the snapshot instead. The boolean reports whether the model was new;
+// a nil entry means a concurrent Remove refused the registration.
+//
+// The snapshot is persisted before the entry becomes visible — the same
+// order the write-through fit path uses — so an entry can never be evicted
+// (deleting its snapshot) before the snapshot exists, and a refused insert
+// cleans up its own write rather than leaving an unregistered ghost on
+// disk.
+func (r *Registry) ImportSnapshot(snap *store.Snapshot, raw []byte) (*ModelEntry, bool) {
+	if r.store != nil {
+		// Failures are recorded in the store's stats and surfaced on
+		// /healthz; the model still serves from memory.
+		if raw != nil {
+			_ = r.store.PutVerified(snap.ID, raw)
+		} else {
+			_ = r.store.Put(snap)
+		}
+	}
+	e, fresh := r.insertSnapshot(snap)
+	if e == nil && r.store != nil {
+		_ = r.store.Delete(snap.ID) // refused by a concurrent Remove
+	}
+	return e, fresh
+}
+
+// WarmStart loads persisted snapshots into the registry, newest first, up
+// to the cache capacity, and returns how many it loaded. Corrupt snapshots
+// are quarantined by the store and skipped; snapshots beyond the capacity
+// stay on disk and are loaded lazily on first use.
+func (r *Registry) WarmStart() int {
+	if r.store == nil {
+		return 0
+	}
+	ids := r.store.IDs()
+	if len(ids) > r.cap {
+		ids = ids[:r.cap]
+	}
+	loaded := 0
+	// Insert oldest-first so the newest snapshot ends up at the LRU front.
+	for i := len(ids) - 1; i >= 0; i-- {
+		snap, err := r.store.Get(ids[i])
+		if err != nil {
+			continue
+		}
+		if _, fresh := r.insertSnapshot(snap); fresh {
+			loaded++
+		}
+	}
+	return loaded
+}
+
+// Remove deletes a model from the registry and its snapshot from the store
+// (the admin DELETE endpoint). Models still fitting cannot be removed. The
+// snapshot is deleted first — under a tombstone that keeps the lazy store
+// fallback from resurrecting the ID mid-removal — and a disk deletion that
+// fails for a real reason (not absence) aborts the removal, so a 204 always
+// means the model is actually gone.
+func (r *Registry) Remove(id string) error {
+	r.mu.Lock()
+	e, resident := r.byID[id]
+	if resident {
+		e.mu.Lock()
+		fitting := e.state == StateFitting
+		e.mu.Unlock()
+		if fitting {
+			r.mu.Unlock()
+			return ErrModelFitting
+		}
+	}
+	r.removing[id]++
+	r.mu.Unlock()
+
+	var diskErr error = store.ErrNotFound
+	if r.store != nil {
+		diskErr = r.store.Delete(id)
+	}
+
+	r.mu.Lock()
+	if r.removing[id]--; r.removing[id] == 0 {
+		delete(r.removing, id)
+	}
+	if diskErr != nil && !errors.Is(diskErr, store.ErrNotFound) {
+		r.mu.Unlock()
+		return diskErr // snapshot survived; keep the model servable
+	}
+	// Re-look the entry up: it may have been inserted or evicted while the
+	// lock was released.
+	removedMem := false
+	if cur, ok := r.byID[id]; ok {
+		cur.mu.Lock()
+		fitting := cur.state == StateFitting
+		cur.mu.Unlock()
+		if !fitting {
+			r.lru.Remove(cur.elem)
+			delete(r.byID, cur.ID)
+			delete(r.byKey, cur.Key)
+			removedMem = true
+		}
+	}
+	r.mu.Unlock()
+
+	if !removedMem && errors.Is(diskErr, store.ErrNotFound) {
+		return ErrUnknownModel
+	}
+	r.metrics.ModelEvicted()
+	return nil
+}
+
+// Entries returns the resident entries, most recently used first.
+func (r *Registry) Entries() []*ModelEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*ModelEntry, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*ModelEntry))
+	}
+	return out
+}
+
+// Flush writes a snapshot for every ready resident model that lacks one —
+// the graceful-shutdown path. With write-through snapshotting this is
+// normally a no-op; it exists to catch models whose snapshot write failed
+// (disk full) or was byte-evicted, giving them one more chance to survive
+// the restart. It returns the first error encountered.
+func (r *Registry) Flush() error {
+	if r.store == nil {
+		return nil
+	}
+	var firstErr error
+	for _, e := range r.Entries() {
+		e.mu.Lock()
+		ready, fm := e.state == StateReady, e.fitted
+		e.mu.Unlock()
+		if !ready || r.store.Has(e.ID) {
+			continue
+		}
+		if err := r.store.Put(r.snapshotFor(e, fm)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// snapshotFor assembles the persistent form of a ready entry.
+func (r *Registry) snapshotFor(e *ModelEntry, fm *sgf.FittedModel) *store.Snapshot {
+	return &store.Snapshot{
+		ID:          e.ID,
+		Key:         e.Key,
+		Created:     e.Created,
+		Rows:        e.Rows,
+		Clean:       e.Clean,
+		FitDuration: e.FitDuration(),
+		ModelEps:    e.Opts.ModelEps,
+		ModelDelta:  e.Opts.ModelDelta,
+		MaxCost:     e.Opts.MaxCost,
+		Seed:        e.Opts.Seed,
+		Model:       fm,
+	}
 }
 
 // Open returns the entry for the given cache key, fitting it in the
@@ -208,6 +493,7 @@ func (r *Registry) Open(key string, data *dataset.Dataset, opts sgf.FitOptions, 
 		Created: time.Now(),
 		Clean:   clean,
 		Rows:    data.Len(),
+		Opts:    opts,
 		done:    make(chan struct{}),
 		state:   StateFitting,
 	}
@@ -215,8 +501,9 @@ func (r *Registry) Open(key string, data *dataset.Dataset, opts sgf.FitOptions, 
 	r.byID[e.ID] = e
 	r.byKey[key] = e
 	r.pending++
-	r.evictLocked()
+	evicted := r.evictLocked()
 	r.mu.Unlock()
+	r.dropSnapshots(evicted)
 
 	go r.fit(e, data, opts)
 	return e, false, nil
@@ -232,9 +519,22 @@ func (r *Registry) fit(e *ModelEntry, data *dataset.Dataset, opts sgf.FitOptions
 	}
 	start := time.Now()
 	fm, err := sgf.Fit(data, opts)
+	dur := time.Since(start)
+
+	// Write-through: persist before the model becomes visible. The entry is
+	// still StateFitting here, so it cannot be LRU-evicted (which would
+	// delete the snapshot) until the snapshot exists. A write failure is
+	// recorded in the store's stats and surfaced on /healthz; the model
+	// still serves from memory.
+	if err == nil && r.store != nil {
+		e.mu.Lock()
+		e.fitDur = dur // snapshotFor reads it under the entry lock
+		e.mu.Unlock()
+		_ = r.store.Put(r.snapshotFor(e, fm))
+	}
 
 	e.mu.Lock()
-	e.fitDur = time.Since(start)
+	e.fitDur = dur
 	if err != nil {
 		e.state, e.err = StateFailed, err
 	} else {
@@ -247,8 +547,9 @@ func (r *Registry) fit(e *ModelEntry, data *dataset.Dataset, opts sgf.FitOptions
 	r.pending--
 	// The entry just became evictable; without this, a burst of admitted
 	// fits could leave the cache over capacity until the next Open.
-	r.evictLocked()
+	evicted := r.evictLocked()
 	r.mu.Unlock()
+	r.dropSnapshots(evicted)
 
 	if err != nil {
 		r.metrics.ModelFailed()
@@ -258,9 +559,11 @@ func (r *Registry) fit(e *ModelEntry, data *dataset.Dataset, opts sgf.FitOptions
 }
 
 // evictLocked drops least-recently-used finished entries until the cache
-// fits. Entries still fitting are skipped: evicting them would orphan the
-// fit goroutine's result. Callers hold r.mu.
-func (r *Registry) evictLocked() {
+// fits, returning what it dropped so the caller can delete their snapshots
+// outside the lock. Entries still fitting are skipped: evicting them would
+// orphan the fit goroutine's result. Callers hold r.mu.
+func (r *Registry) evictLocked() []*ModelEntry {
+	var evicted []*ModelEntry
 	over := len(r.byID) - r.cap
 	for el := r.lru.Back(); el != nil && over > 0; {
 		prev := el.Prev()
@@ -273,8 +576,21 @@ func (r *Registry) evictLocked() {
 			delete(r.byID, e.ID)
 			delete(r.byKey, e.Key)
 			over--
+			evicted = append(evicted, e)
 			r.metrics.ModelEvicted()
 		}
 		el = prev
+	}
+	return evicted
+}
+
+// dropSnapshots deletes the snapshots of evicted entries; an evicted model
+// is gone for good, exactly like before persistence existed.
+func (r *Registry) dropSnapshots(evicted []*ModelEntry) {
+	if r.store == nil {
+		return
+	}
+	for _, e := range evicted {
+		_ = r.store.Delete(e.ID)
 	}
 }

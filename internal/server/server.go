@@ -4,14 +4,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/models                  upload a CSV (or reference a built-in
-//	                                 dataset) and fit a model in the
-//	                                 background; returns a model ID
-//	GET  /v1/models/{id}             fit status + structure summary
-//	POST /v1/models/{id}/synthesize  run Mechanism 1 and stream records
-//	                                 back as NDJSON
-//	GET  /healthz                    liveness
-//	GET  /metrics                    Prometheus counters
+//	POST   /v1/models                  upload a CSV (or reference a built-in
+//	                                   dataset) and fit a model in the
+//	                                   background; returns a model ID
+//	GET    /v1/models                  list models (resident + persisted)
+//	GET    /v1/models/{id}             fit status + structure summary
+//	POST   /v1/models/{id}/synthesize  run Mechanism 1 and stream records
+//	                                   back as NDJSON
+//	GET    /v1/models/{id}/export      download the model's binary snapshot
+//	POST   /v1/models/import           upload a snapshot exported elsewhere
+//	DELETE /v1/models/{id}             drop a model and its snapshot
+//	GET    /healthz                    liveness + store status
+//	GET    /metrics                    Prometheus counters
 //
 // Three pieces make the service safe under load. The model Registry is an
 // LRU cache keyed by dataset hash + fit config, so repeated uploads of the
@@ -23,12 +27,20 @@
 // depends only on its seed and parameters — never on how many workers the
 // pool happened to grant — so identical requests are reproducible even on a
 // busy server.
+//
+// With Config.StoreDir set, the registry additionally persists every fitted
+// model through internal/store and warm-starts from disk at boot, so a
+// restarted server answers repeat fit requests — and serves synthesize
+// requests byte-identically — without refitting (the paper's
+// fit-once/synthesize-many split, made durable).
 package server
 
 import (
 	"log"
 	"net/http"
 	"strings"
+
+	"repro/internal/store"
 )
 
 // Config parameterizes a Server.
@@ -46,6 +58,13 @@ type Config struct {
 	MaxPendingFits int
 	// MaxUploadBytes caps a fit request body (0 = 32 MiB).
 	MaxUploadBytes int64
+	// StoreDir enables model persistence: fitted models are snapshotted
+	// there on fit completion and warm-started at boot ("" = models live
+	// only in memory and every restart refits).
+	StoreDir string
+	// StoreMaxBytes caps the total snapshot bytes kept in StoreDir
+	// (0 = unlimited); past it the oldest snapshots are evicted from disk.
+	StoreMaxBytes int64
 	// Log receives one line per request; nil disables logging.
 	Log *log.Logger
 }
@@ -57,24 +76,49 @@ type Server struct {
 	pool    *WorkerPool
 	reg     *Registry
 	metrics *Metrics
+	store   *store.Store // nil without StoreDir
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. With Config.StoreDir set it opens
+// the snapshot store and warm-starts the registry from it, so previously
+// fitted models are servable immediately; a store that cannot be opened is
+// an error (serving without the operator's requested durability would
+// silently refit everything).
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 32 << 20
 	}
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir, cfg.StoreMaxBytes); err != nil {
+			return nil, err
+		}
+	}
 	metrics := NewMetrics()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		pool:    NewWorkerPool(cfg.PoolSize),
-		reg:     NewRegistry(cfg.CacheCap, cfg.MaxConcurrentFits, cfg.MaxPendingFits, metrics),
+		reg:     NewRegistry(cfg.CacheCap, cfg.MaxConcurrentFits, cfg.MaxPendingFits, metrics, st),
 		metrics: metrics,
+		store:   st,
 	}
+	if st != nil {
+		if n := s.reg.WarmStart(); n > 0 && cfg.Log != nil {
+			cfg.Log.Printf("warm-started %d model(s) from %s", n, cfg.StoreDir)
+		}
+	}
+	return s, nil
 }
 
 // Metrics exposes the server's counters (used by tests and embedders).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close flushes the snapshot store: every ready resident model gets a
+// snapshot on disk if it doesn't already have one (a second chance for
+// models whose write-through snapshot failed). Call it after the HTTP
+// server has drained; it is a no-op without a store.
+func (s *Server) Close() error { return s.reg.Flush() }
 
 // statusWriter captures the response code for logging and metrics.
 type statusWriter struct {
@@ -141,11 +185,24 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		s.handleMetrics(w, r)
 		return "metrics"
 	case path == "/v1/models":
-		if !requireMethod(w, r, http.MethodPost) {
+		switch r.Method {
+		case http.MethodPost:
+			s.handleFit(w, r)
+			return "fit"
+		case http.MethodGet:
+			s.handleListModels(w, r)
+			return "models"
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			writeError(w, http.StatusMethodNotAllowed, "%s requires GET or POST", path)
 			return "fit"
 		}
-		s.handleFit(w, r)
-		return "fit"
+	case path == "/v1/models/import":
+		if !requireMethod(w, r, http.MethodPost) {
+			return "import"
+		}
+		s.handleImport(w, r)
+		return "import"
 	case strings.HasPrefix(path, "/v1/models/"):
 		rest := strings.TrimPrefix(path, "/v1/models/")
 		if id, ok := strings.CutSuffix(rest, "/synthesize"); ok {
@@ -159,15 +216,33 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			s.handleSynthesize(w, r, id)
 			return "synthesize"
 		}
+		if id, ok := strings.CutSuffix(rest, "/export"); ok {
+			if !validModelID(id) {
+				writeError(w, http.StatusNotFound, "malformed model id %q", id)
+				return "export"
+			}
+			if !requireMethod(w, r, http.MethodGet) {
+				return "export"
+			}
+			s.handleExport(w, r, id)
+			return "export"
+		}
 		if !validModelID(rest) {
 			writeError(w, http.StatusNotFound, "malformed model id %q", rest)
 			return "status"
 		}
-		if !requireMethod(w, r, http.MethodGet) {
+		switch r.Method {
+		case http.MethodGet:
+			s.handleStatus(w, r, rest)
+			return "status"
+		case http.MethodDelete:
+			s.handleDeleteModel(w, r, rest)
+			return "delete"
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			writeError(w, http.StatusMethodNotAllowed, "%s requires GET or DELETE", path)
 			return "status"
 		}
-		s.handleStatus(w, r, rest)
-		return "status"
 	default:
 		writeError(w, http.StatusNotFound, "no route for %s", path)
 		return "notfound"

@@ -47,9 +47,23 @@ func testCSV(n int) string {
 	return b.String()
 }
 
+// newServer builds the handler or fails the test.
+func newServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	return srv
+}
+
+// newTestServer serves the default test config. Every test server gets a
+// temporary snapshot store so the persistence paths (write-through
+// snapshotting, warm-start plumbing) run under the race detector alongside
+// everything else.
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(server.New(server.Config{PoolSize: 8, CacheCap: 4}))
+	ts := httptest.NewServer(newServer(t, server.Config{PoolSize: 8, CacheCap: 4, StoreDir: t.TempDir()}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -387,8 +401,19 @@ func TestRequestValidation(t *testing.T) {
 	if code := get("/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown route status = %d, want 404", code)
 	}
-	if code := get("/v1/models"); code != http.StatusMethodNotAllowed {
-		t.Errorf("GET fit status = %d, want 405", code)
+	// GET /v1/models is the list endpoint, so the wrong-method probe uses
+	// PUT.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("PUT models status = %d, want 405", resp.StatusCode)
+		}
 	}
 
 	resp, err := http.Post(ts.URL+"/v1/models", "application/json", strings.NewReader("{not json"))
@@ -437,7 +462,7 @@ func TestRequestValidation(t *testing.T) {
 }
 
 func TestOversizedUploadGets413(t *testing.T) {
-	ts := httptest.NewServer(server.New(server.Config{MaxUploadBytes: 256}))
+	ts := httptest.NewServer(newServer(t, server.Config{MaxUploadBytes: 256}))
 	t.Cleanup(ts.Close)
 
 	resp := postJSON(t, ts.URL+"/v1/models", map[string]any{

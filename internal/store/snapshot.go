@@ -1,0 +1,185 @@
+// Package store persists fitted models across process restarts: a versioned
+// binary snapshot codec for sgf.FittedModel plus its registry bookkeeping,
+// and a directory-backed Store with atomic writes, corrupt-snapshot
+// quarantine and a byte-budget eviction policy.
+//
+// The §3 pipeline's expensive half is Fit; the fit-once/synthesize-many
+// split only pays off in production if a fitted model survives a restart.
+// A snapshot captures everything synthesis needs — schema, bucketizer,
+// structure, count tables, the DS seed partition — plus the spent (ε, δ)
+// model budget and the registry cache key, so a restarted server answers
+// repeat fit requests from disk and produces byte-identical synthetic
+// records for identical synthesize requests.
+//
+// On-disk format:
+//
+//	8  bytes  magic "SGFSNAP\x00"
+//	…         uvarint format version, then the snapshot payload (wire
+//	          encoding; the fitted model is a nested length-prefixed
+//	          sgf.FittedModel payload with its own sub-version)
+//	4  bytes  CRC-32C (Castagnoli) of everything above, little-endian
+//
+// Decoding verifies the magic, the checksum, and the version — in that
+// order — before touching the payload, so truncated files, bit rot and
+// foreign formats are rejected with distinct errors.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	sgf "repro"
+	"repro/internal/dataset"
+	"repro/internal/wire"
+)
+
+// Version is the snapshot container format version.
+const Version = 1
+
+// magic identifies a snapshot file.
+var magic = [8]byte{'S', 'G', 'F', 'S', 'N', 'A', 'P', 0}
+
+// Sentinel decode errors, distinguishable with errors.Is.
+var (
+	// ErrBadMagic means the bytes are not a snapshot at all.
+	ErrBadMagic = errors.New("store: not a model snapshot (bad magic)")
+	// ErrBadChecksum means the snapshot was truncated or corrupted.
+	ErrBadChecksum = errors.New("store: snapshot checksum mismatch")
+	// ErrBadVersion means the snapshot uses an unsupported format version.
+	ErrBadVersion = errors.New("store: unsupported snapshot version")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is one persisted model: the server registry's bookkeeping for the
+// entry plus the complete fitted model.
+type Snapshot struct {
+	// ID is the registry handle ("m-" + first 16 hex digits of Key).
+	ID string
+	// Key is the registry cache key: the hash of dataset bytes + fit config.
+	Key string
+	// Created is when the model was first registered.
+	Created time.Time
+	// Rows is the number of clean input records the model was fitted on.
+	Rows int
+	// Clean summarizes CSV extraction for uploaded datasets.
+	Clean dataset.CleanStats
+	// FitDuration is how long the original fit took.
+	FitDuration time.Duration
+	// ModelEps, ModelDelta, MaxCost and Seed echo the fit config (the full
+	// config is baked into Key; these are kept readable for listings).
+	ModelEps   float64
+	ModelDelta float64
+	MaxCost    float64
+	Seed       uint64
+	// Model is the fitted model itself.
+	Model *sgf.FittedModel
+}
+
+// Encode renders the snapshot in the container format: magic, version,
+// payload, checksum. Encoding is deterministic — the same snapshot always
+// produces the same bytes.
+func (s *Snapshot) Encode() ([]byte, error) {
+	ww := &wire.Writer{}
+	ww.Uvarint(Version)
+	ww.String(s.ID)
+	ww.String(s.Key)
+	ww.Varint(s.Created.UnixNano())
+	ww.Int(s.Rows)
+	ww.Int(s.Clean.Total)
+	ww.Int(s.Clean.DroppedMissing)
+	ww.Int(s.Clean.DroppedInvalid)
+	ww.Int(s.Clean.Clean)
+	ww.Int(s.Clean.Unique)
+	ww.Float64(s.Clean.PossibleRecords)
+	ww.Varint(int64(s.FitDuration))
+	ww.Float64(s.ModelEps)
+	ww.Float64(s.ModelDelta)
+	ww.Float64(s.MaxCost)
+	ww.Uvarint(s.Seed)
+	var mb bytes.Buffer
+	if s.Model == nil {
+		return nil, fmt.Errorf("store: snapshot %s has no model", s.ID)
+	}
+	if err := s.Model.Encode(&mb); err != nil {
+		return nil, fmt.Errorf("store: encoding model %s: %w", s.ID, err)
+	}
+	ww.BytesField(mb.Bytes())
+
+	out := make([]byte, 0, len(magic)+ww.Len()+4)
+	out = append(out, magic[:]...)
+	out = append(out, ww.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
+	return out, nil
+}
+
+// Decode parses and fully validates a snapshot: container integrity first
+// (magic, checksum, version), then the payload through the layered model
+// codec, then cross-field consistency (the ID must be derived from the key).
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+4 || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, ErrBadChecksum
+	}
+	rr := wire.NewReader(body[len(magic):])
+	if v := rr.Uvarint(); v != Version {
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+		}
+		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, v, Version)
+	}
+	s := &Snapshot{}
+	s.ID = rr.ReadString()
+	s.Key = rr.ReadString()
+	s.Created = time.Unix(0, rr.Varint()).UTC()
+	s.Rows = rr.Int()
+	s.Clean.Total = rr.Int()
+	s.Clean.DroppedMissing = rr.Int()
+	s.Clean.DroppedInvalid = rr.Int()
+	s.Clean.Clean = rr.Int()
+	s.Clean.Unique = rr.Int()
+	s.Clean.PossibleRecords = rr.Float64()
+	s.FitDuration = time.Duration(rr.Varint())
+	s.ModelEps = rr.Float64()
+	s.ModelDelta = rr.Float64()
+	s.MaxCost = rr.Float64()
+	s.Seed = rr.Uvarint()
+	modelRaw := rr.BytesField()
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if err := rr.Done(); err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if !ValidID(s.ID) || len(s.Key) < 16 || s.ID != "m-"+s.Key[:16] {
+		return nil, fmt.Errorf("store: snapshot id %q does not match its cache key", s.ID)
+	}
+	model, err := sgf.DecodeFittedModel(bytes.NewReader(modelRaw))
+	if err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot %s: %w", s.ID, err)
+	}
+	s.Model = model
+	return s, nil
+}
+
+// ValidID reports whether id has the registry's model-ID shape
+// ("m-" + 16 lowercase hex digits) and is therefore safe to use as a
+// filename component.
+func ValidID(id string) bool {
+	if len(id) != 18 || id[0] != 'm' || id[1] != '-' {
+		return false
+	}
+	for _, c := range id[2:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,401 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned by Get/ReadRaw/Delete for an unknown snapshot.
+var ErrNotFound = errors.New("store: no such snapshot")
+
+// snapExt is the snapshot filename extension; a snapshot for model id X
+// lives at <dir>/X.snap.
+const snapExt = ".snap"
+
+// quarantineExt marks a snapshot that failed decoding; the file is renamed,
+// not deleted, so an operator can inspect it.
+const quarantineExt = ".corrupt"
+
+// fileInfo is the store's in-memory index entry for one snapshot file.
+type fileInfo struct {
+	size  int64
+	mtime time.Time
+}
+
+// Stats is a point-in-time summary of the store, surfaced by /healthz and
+// the Prometheus metrics.
+type Stats struct {
+	// Count and Bytes describe the snapshots currently on disk.
+	Count int
+	Bytes int64
+	// Saves/Loads/Deletes count successful operations since process start;
+	// the *Errors counters their failures. Quarantined counts snapshots
+	// moved aside because they failed decoding.
+	Saves       int64
+	SaveErrors  int64
+	Loads       int64
+	LoadErrors  int64
+	Deletes     int64
+	Quarantined int64
+	// LastSaveError and LastLoadError are the most recent failure messages
+	// (empty when none has occurred).
+	LastSaveError string
+	LastLoadError string
+}
+
+// Store is a directory of model snapshots, one file per model ID. All
+// methods are safe for concurrent use. Writes are crash-safe: a snapshot is
+// streamed to a temporary file, fsynced, then renamed into place, so a crash
+// leaves either the old snapshot or the new one, never a torn file.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	files map[string]fileInfo // id → on-disk snapshot
+	stats Stats
+}
+
+// Open opens (creating if needed) a snapshot directory. maxBytes caps the
+// total snapshot bytes kept on disk (0 = unlimited): when a Put pushes the
+// directory over the cap, the oldest snapshots are evicted until it fits
+// (the snapshot just written is never the one evicted).
+//
+// Open only indexes the directory; snapshots are decoded on Get, where a
+// corrupt file is quarantined (renamed *.corrupt) rather than served.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, files: make(map[string]fileInfo)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") && !e.IsDir() {
+			// A crash mid-writeAtomic leaves a partial temp file behind;
+			// nothing references it, so sweep it before it accumulates.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		id, ok := strings.CutSuffix(name, snapExt)
+		if !ok || !ValidID(id) || e.IsDir() {
+			continue // foreign files (and quarantined snapshots) are left alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.files[id] = fileInfo{size: info.Size(), mtime: info.ModTime()}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+snapExt) }
+
+// Put atomically persists a snapshot, replacing any previous snapshot for
+// the same ID, then enforces the byte budget.
+func (s *Store) Put(snap *Snapshot) error {
+	data, err := snap.Encode()
+	if err != nil {
+		return s.saveFailed(err)
+	}
+	return s.putBytes(snap.ID, data)
+}
+
+// PutVerified persists already-encoded snapshot bytes without re-encoding
+// them. The caller must have obtained id by successfully decoding data with
+// Decode (the import path does: it validates the upload, then persists the
+// exact bytes it validated).
+func (s *Store) PutVerified(id string, data []byte) error {
+	return s.putBytes(id, data)
+}
+
+func (s *Store) putBytes(id string, data []byte) error {
+	if !ValidID(id) {
+		return s.saveFailed(fmt.Errorf("store: invalid snapshot id %q", id))
+	}
+	if err := s.writeAtomic(s.path(id), data); err != nil {
+		return s.saveFailed(fmt.Errorf("store: writing snapshot %s: %w", id, err))
+	}
+	s.mu.Lock()
+	s.files[id] = fileInfo{size: int64(len(data)), mtime: time.Now()}
+	s.stats.Saves++
+	evict := s.overBudgetLocked(id)
+	s.mu.Unlock()
+	for _, old := range evict {
+		s.Delete(old)
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via a temp file in the same directory,
+// fsyncing before the rename.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// overBudgetLocked returns the oldest snapshot IDs (by mtime) that must go
+// to bring the directory back under maxBytes, never including keep.
+func (s *Store) overBudgetLocked(keep string) []string {
+	if s.maxBytes <= 0 {
+		return nil
+	}
+	total := int64(0)
+	for _, fi := range s.files {
+		total += fi.size
+	}
+	if total <= s.maxBytes {
+		return nil
+	}
+	type aged struct {
+		id string
+		fileInfo
+	}
+	var candidates []aged
+	for id, fi := range s.files {
+		if id != keep {
+			candidates = append(candidates, aged{id, fi})
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		if !candidates[a].mtime.Equal(candidates[b].mtime) {
+			return candidates[a].mtime.Before(candidates[b].mtime)
+		}
+		return candidates[a].id < candidates[b].id
+	})
+	var evict []string
+	for _, c := range candidates {
+		if total <= s.maxBytes {
+			break
+		}
+		evict = append(evict, c.id)
+		total -= c.size
+	}
+	return evict
+}
+
+// Get reads and decodes a snapshot. A snapshot that fails to decode is
+// quarantined: renamed *.corrupt, dropped from the index, and counted as a
+// load error, so one bad file cannot wedge warm-start or be served again.
+// A version mismatch is the exception — the file is intact, just written by
+// a different binary (rollback/roll-forward), so it is left in place for
+// the binary that understands it.
+func (s *Store) Get(id string) (*Snapshot, error) {
+	raw, err := s.ReadRaw(id)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := Decode(raw)
+	if errors.Is(err, ErrBadVersion) {
+		s.loadFailed(err)
+		return nil, err
+	}
+	if err != nil {
+		s.quarantine(id, err)
+		return nil, err
+	}
+	if snap.ID != id {
+		err := fmt.Errorf("store: snapshot file %s contains model %s", id, snap.ID)
+		s.quarantine(id, err)
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Loads++
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// ReadRaw returns a snapshot's encoded bytes (the export path).
+func (s *Store) ReadRaw(id string) ([]byte, error) {
+	if !ValidID(id) {
+		return nil, ErrNotFound
+	}
+	s.mu.Lock()
+	_, ok := s.files[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	raw, err := os.ReadFile(s.path(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.mu.Lock()
+		delete(s.files, id) // index was stale
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		s.loadFailed(err)
+		return nil, fmt.Errorf("store: reading snapshot %s: %w", id, err)
+	}
+	return raw, nil
+}
+
+// quarantine moves a snapshot that failed decoding aside.
+func (s *Store) quarantine(id string, cause error) {
+	_ = os.Rename(s.path(id), s.path(id)+quarantineExt)
+	s.mu.Lock()
+	delete(s.files, id)
+	s.stats.Quarantined++
+	s.stats.LoadErrors++
+	s.stats.LastLoadError = cause.Error()
+	s.mu.Unlock()
+}
+
+// Delete removes a snapshot from disk. Deleting an unknown ID returns
+// ErrNotFound.
+func (s *Store) Delete(id string) error {
+	if !ValidID(id) {
+		return ErrNotFound
+	}
+	s.mu.Lock()
+	_, ok := s.files[id]
+	delete(s.files, id)
+	s.mu.Unlock()
+	err := os.Remove(s.path(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		err = nil
+		if !ok {
+			return ErrNotFound
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("store: deleting snapshot %s: %w", id, err)
+	}
+	s.mu.Lock()
+	s.stats.Deletes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Has reports whether a snapshot for the ID is on disk. It consults the
+// filesystem, not just the index, so snapshots removed behind the store's
+// back (operator cleanup, byte eviction on another mount) read as absent —
+// Flush relies on this to re-persist them. Only a definite not-exist drops
+// the index entry; a transient stat failure (EMFILE, EACCES) falls back to
+// the index rather than forgetting an intact snapshot.
+func (s *Store) Has(id string) bool {
+	if !ValidID(id) {
+		return false
+	}
+	info, err := os.Stat(s.path(id))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if errors.Is(err, fs.ErrNotExist) {
+		delete(s.files, id)
+		return false
+	}
+	if err != nil {
+		_, ok := s.files[id]
+		return ok
+	}
+	if _, ok := s.files[id]; !ok {
+		s.files[id] = fileInfo{size: info.Size(), mtime: info.ModTime()}
+	}
+	return true
+}
+
+// IDs returns the snapshot IDs on disk, newest first (by file mtime, ties by
+// ID) — the order warm-start should load them in so the most recently fitted
+// models win the cache.
+func (s *Store) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.files))
+	for id := range s.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ta, tb := s.files[ids[a]].mtime, s.files[ids[b]].mtime
+		if !ta.Equal(tb) {
+			return ta.After(tb)
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// Size returns the encoded size in bytes of one snapshot (0 if absent).
+func (s *Store) Size(id string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.files[id].size
+}
+
+// Stats returns a consistent snapshot of the store's counters and current
+// disk footprint.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.Count = len(s.files)
+	out.Bytes = 0
+	for _, fi := range s.files {
+		out.Bytes += fi.size
+	}
+	return out
+}
+
+func (s *Store) saveFailed(err error) error {
+	s.mu.Lock()
+	s.stats.SaveErrors++
+	s.stats.LastSaveError = err.Error()
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Store) loadFailed(err error) {
+	s.mu.Lock()
+	s.stats.LoadErrors++
+	s.stats.LastLoadError = err.Error()
+	s.mu.Unlock()
+}
+
+// WriteMetrics renders the store's counters in the Prometheus text format,
+// matching the sgfd_ namespace of internal/server's metrics.
+func (s *Store) WriteMetrics(w io.Writer) (int64, error) {
+	st := s.Stats()
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	add("# TYPE sgfd_store_snapshots gauge\nsgfd_store_snapshots %d\n", st.Count)
+	add("# TYPE sgfd_store_bytes gauge\nsgfd_store_bytes %d\n", st.Bytes)
+	add("# TYPE sgfd_store_saves_total counter\nsgfd_store_saves_total %d\n", st.Saves)
+	add("# TYPE sgfd_store_save_errors_total counter\nsgfd_store_save_errors_total %d\n", st.SaveErrors)
+	add("# TYPE sgfd_store_loads_total counter\nsgfd_store_loads_total %d\n", st.Loads)
+	add("# TYPE sgfd_store_load_errors_total counter\nsgfd_store_load_errors_total %d\n", st.LoadErrors)
+	add("# TYPE sgfd_store_deletes_total counter\nsgfd_store_deletes_total %d\n", st.Deletes)
+	add("# TYPE sgfd_store_quarantined_total counter\nsgfd_store_quarantined_total %d\n", st.Quarantined)
+	n, err := w.Write(b)
+	return int64(n), err
+}

@@ -1,0 +1,354 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	sgf "repro"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// testSnapshot fits a small model and wraps it in a snapshot. salt varies
+// the dataset (and therefore the cache key) so tests can mint distinct
+// models.
+func testSnapshot(t testing.TB, salt uint64) *store.Snapshot {
+	t.Helper()
+	meta, err := dataset.NewMetadata(
+		dataset.NewCategorical("COLOR", "red", "green", "blue"),
+		dataset.NewCategorical("SIZE", "s", "m", "l"),
+		dataset.NewNumerical("GRADE", 0, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.New(meta)
+	r := rng.New(7 + salt)
+	for i := 0; i < 200; i++ {
+		c := uint16(r.Intn(3))
+		s := c
+		if r.Float64() < 0.3 {
+			s = uint16(r.Intn(3))
+		}
+		data.Append(dataset.Record{c, s, uint16((int(c) + r.Intn(2)) % 4)})
+	}
+	bkt := dataset.NewBucketizer(meta)
+	if err := bkt.SetWidth(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	fm, err := sgf.Fit(data, sgf.FitOptions{ModelEps: 1, Bucketizer: bkt, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(binary.LittleEndian.AppendUint64([]byte("store-test"), salt))
+	key := hex.EncodeToString(sum[:])
+	return &store.Snapshot{
+		ID:          "m-" + key[:16],
+		Key:         key,
+		Created:     time.Unix(1700000000, 123456789).UTC(),
+		Rows:        data.Len(),
+		Clean:       dataset.CleanStats{Total: 200, Clean: 200, Unique: data.UniqueCount(), PossibleRecords: data.PossibleRecords()},
+		FitDuration: 125 * time.Millisecond,
+		ModelEps:    1,
+		Seed:        11,
+		Model:       fm,
+	}
+}
+
+func synth(t testing.TB, fm *sgf.FittedModel) *sgf.Dataset {
+	t.Helper()
+	out, _, err := fm.Synthesize(context.Background(), sgf.SynthOptions{
+		Records: 20, K: 3, Gamma: 8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := testSnapshot(t, 1)
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != snap.ID || got.Key != snap.Key || !got.Created.Equal(snap.Created) ||
+		got.Rows != snap.Rows || got.Clean != snap.Clean || got.FitDuration != snap.FitDuration ||
+		got.ModelEps != snap.ModelEps || got.Seed != snap.Seed {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, snap)
+	}
+	want, have := synth(t, snap.Model), synth(t, got.Model)
+	for i := 0; i < want.Len(); i++ {
+		if !want.Row(i).Equal(have.Row(i)) {
+			t.Fatalf("record %d differs after snapshot round trip", i)
+		}
+	}
+	// Determinism: encoding again (and encoding the decoded snapshot)
+	// reproduces the same bytes.
+	data2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("snapshot encoding is not deterministic across decode")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	snap := testSnapshot(t, 2)
+	valid, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := store.Decode([]byte("not a snapshot at all")); !errors.Is(err, store.ErrBadMagic) {
+		t.Errorf("garbage: err = %v, want ErrBadMagic", err)
+	}
+	if _, err := store.Decode(valid[:5]); !errors.Is(err, store.ErrBadMagic) {
+		t.Errorf("tiny: err = %v, want ErrBadMagic", err)
+	}
+
+	// Flip one payload byte: the checksum must catch it.
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := store.Decode(flipped); !errors.Is(err, store.ErrBadChecksum) {
+		t.Errorf("bit flip: err = %v, want ErrBadChecksum", err)
+	}
+
+	// Truncation also breaks the checksum.
+	if _, err := store.Decode(valid[:len(valid)-1]); !errors.Is(err, store.ErrBadChecksum) {
+		t.Errorf("truncated: err = %v, want ErrBadChecksum", err)
+	}
+
+	// A future format version with a valid checksum must be refused, not
+	// misparsed: bump the version byte and re-checksum.
+	bumped := append([]byte{}, valid...)
+	if bumped[8] != store.Version {
+		t.Fatalf("test assumes a single-byte version, got %d", bumped[8])
+	}
+	bumped[8] = store.Version + 1
+	sum := crc32.Checksum(bumped[:len(bumped)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(bumped[len(bumped)-4:], sum)
+	if _, err := store.Decode(bumped); !errors.Is(err, store.ErrBadVersion) {
+		t.Errorf("bumped version: err = %v, want ErrBadVersion", err)
+	}
+
+	// An ID that is not derived from the key must be refused (re-checksummed
+	// so only the consistency rule can reject it). The ID field starts right
+	// after the version byte: uvarint length 18, then the ID bytes.
+	forged := append([]byte{}, valid...)
+	forged[10] ^= 0x01 // second character of the ID
+	sum = crc32.Checksum(forged[:len(forged)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(forged[len(forged)-4:], sum)
+	if _, err := store.Decode(forged); err == nil {
+		t.Error("snapshot with forged id accepted")
+	}
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(t, 3)
+	if err := s.Put(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(snap.ID) {
+		t.Fatal("Has = false after Put")
+	}
+	got, err := s.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != snap.Key {
+		t.Fatalf("Get returned key %s, want %s", got.Key, snap.Key)
+	}
+
+	// A fresh Open over the same directory sees the snapshot (the restart
+	// path).
+	s2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := s2.IDs(); len(ids) != 1 || ids[0] != snap.ID {
+		t.Fatalf("re-open IDs = %v", ids)
+	}
+	if st := s2.Stats(); st.Count != 1 || st.Bytes <= 0 {
+		t.Fatalf("re-open stats = %+v", st)
+	}
+
+	if err := s2.Delete(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(snap.ID); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get after Delete: %v, want ErrNotFound", err)
+	}
+	if err := s2.Delete(snap.ID); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("double Delete: %v, want ErrNotFound", err)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*.snap")); len(files) != 0 {
+		t.Fatalf("files remain after delete: %v", files)
+	}
+}
+
+func TestStoreQuarantinesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snap := testSnapshot(t, 4)
+	raw, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	path := filepath.Join(dir, snap.ID+".snap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(snap.ID); !errors.Is(err, store.ErrBadChecksum) {
+		t.Fatalf("corrupt Get: %v, want ErrBadChecksum", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("corrupt snapshot still in place")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.LoadErrors != 1 || st.LastLoadError == "" || st.Count != 0 {
+		t.Fatalf("stats after quarantine = %+v", st)
+	}
+
+	// The quarantined file is ignored by a fresh scan.
+	s2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Count != 0 {
+		t.Fatalf("quarantined file re-indexed: %+v", st)
+	}
+
+	// A version mismatch is NOT corruption: the intact file must stay in
+	// place for a binary that understands it (rollback safety).
+	vsnap := testSnapshot(t, 40)
+	vraw, err := vsnap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vraw[8] = store.Version + 1
+	sum := crc32.Checksum(vraw[:len(vraw)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(vraw[len(vraw)-4:], sum)
+	vpath := filepath.Join(dir, vsnap.ID+".snap")
+	if err := os.WriteFile(vpath, vraw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Get(vsnap.ID); !errors.Is(err, store.ErrBadVersion) {
+		t.Fatalf("future-version Get: %v, want ErrBadVersion", err)
+	}
+	if _, err := os.Stat(vpath); err != nil {
+		t.Errorf("future-version snapshot was quarantined: %v", err)
+	}
+	if st := s3.Stats(); st.Quarantined != 0 || st.LoadErrors != 1 {
+		t.Fatalf("stats after version mismatch = %+v", st)
+	}
+}
+
+func TestStoreMaxBytesEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	a, b := testSnapshot(t, 5), testSnapshot(t, 6)
+	araw, _ := a.Encode()
+	// Budget for two snapshots of this size, but not three.
+	s, err := store.Open(dir, int64(len(araw))*2+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // order by mtime
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	c := testSnapshot(t, 7)
+	if err := s.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(a.ID) {
+		t.Error("oldest snapshot survived the byte budget")
+	}
+	if !s.Has(b.ID) || !s.Has(c.ID) {
+		t.Error("newer snapshots were evicted")
+	}
+}
+
+const goldenPath = "testdata/golden_v1.snap"
+
+// TestGoldenSnapshot pins the on-disk format: the checked-in snapshot must
+// keep decoding, and re-encoding the decoded snapshot must reproduce the
+// file bit-for-bit. If this test fails after a codec change, the format
+// changed: bump the version (store.Version or the fitted-model sub-version)
+// and regenerate with
+//
+//	STORE_WRITE_GOLDEN=1 go test ./internal/store -run TestGoldenSnapshot
+func TestGoldenSnapshot(t *testing.T) {
+	if os.Getenv("STORE_WRITE_GOLDEN") != "" {
+		snap := testSnapshot(t, 42)
+		data, err := snap.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d-byte golden snapshot", len(data))
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden snapshot (regenerate with STORE_WRITE_GOLDEN=1): %v", err)
+	}
+	snap, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("golden snapshot no longer decodes: %v", err)
+	}
+	if !strings.HasPrefix(snap.ID, "m-") || snap.Rows != 200 || snap.Model == nil {
+		t.Fatalf("golden snapshot decoded to nonsense: %+v", snap)
+	}
+	if out := synth(t, snap.Model); out.Len() != 20 {
+		t.Fatalf("golden model synthesized %d records, want 20", out.Len())
+	}
+	re, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, re) {
+		t.Fatal("golden snapshot is not a decode→encode fixed point; the format changed — bump the version")
+	}
+}

@@ -1,0 +1,280 @@
+// Package wire implements the minimal deterministic binary encoding used by
+// the model snapshot codec (sgf.FittedModel.Encode, internal/store):
+// unsigned and zig-zag varints, IEEE-754 float bits in little-endian order,
+// and length-prefixed strings and slices.
+//
+// Two properties matter to its callers. Encoding is a pure function of the
+// values written — no maps are iterated, no pointers or timestamps leak in —
+// so the same model always encodes to the same bytes (snapshot checksums and
+// golden-file tests rely on this). And decoding is hostile-input safe: every
+// length prefix is validated against the bytes actually remaining, so a
+// corrupt or adversarial payload can fail decoding but cannot drive a
+// multi-gigabyte allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates an encoded payload in memory. The zero value is ready
+// to use. Writes never fail.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload. The slice is owned by the writer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint appends a zig-zag signed varint.
+func (w *Writer) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Int appends an int as a zig-zag varint.
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// Bool appends one byte: 1 for true, 0 for false.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Float64 appends the IEEE-754 bits of f, little-endian. Encoding the bits
+// (not a decimal rendering) keeps round-trips exact: decode(encode(x))
+// reproduces x bit-for-bit, including -0 and NaN payloads.
+func (w *Writer) Float64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// BytesField appends a length-prefixed byte slice.
+func (w *Writer) BytesField(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Float64s appends a length-prefixed slice of floats.
+func (w *Writer) Float64s(v []float64) {
+	w.Uvarint(uint64(len(v)))
+	for _, f := range v {
+		w.Float64(f)
+	}
+}
+
+// Uint16s appends a length-prefixed slice of uint16s, little-endian.
+func (w *Writer) Uint16s(v []uint16) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.buf = binary.LittleEndian.AppendUint16(w.buf, x)
+	}
+}
+
+// Ints appends a length-prefixed slice of ints as zig-zag varints.
+func (w *Writer) Ints(v []int) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.Int(x)
+	}
+}
+
+// Reader decodes a payload produced by Writer. Errors are sticky: after the
+// first failure every subsequent read returns a zero value and Err reports
+// the original cause, so decoders can read a whole structure and check the
+// error once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over the payload.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns the sticky error, or an error if unread bytes remain. Call it
+// after decoding a complete structure: trailing garbage means the payload
+// was not produced by the matching encoder.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after payload", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated or malformed uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zig-zag signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated or malformed varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads an int.
+func (r *Reader) Int() int {
+	v := r.Varint()
+	if int64(int(v)) != v {
+		r.fail("varint %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads one byte as a boolean, rejecting values other than 0 and 1.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Remaining() < 1 {
+		r.fail("truncated bool at offset %d", r.off)
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b > 1 {
+		r.fail("invalid bool byte %d at offset %d", b, r.off-1)
+		return false
+	}
+	return b == 1
+}
+
+// Float64 reads IEEE-754 bits written by Writer.Float64.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("truncated float64 at offset %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// length reads a count prefix and validates it against the remaining bytes,
+// assuming each element occupies at least elemSize bytes. This bounds every
+// allocation by the input size.
+func (r *Reader) length(elemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()/elemSize) {
+		r.fail("length %d exceeds remaining %d bytes (elem size %d)", n, r.Remaining(), elemSize)
+		return 0
+	}
+	return int(n)
+}
+
+// ReadString reads a length-prefixed string (named to avoid accidentally
+// implementing fmt.Stringer, which would make printing a Reader consume
+// data).
+func (r *Reader) ReadString() string {
+	n := r.length(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// BytesField reads a length-prefixed byte slice. The returned slice aliases
+// the reader's buffer.
+func (r *Reader) BytesField() []byte {
+	n := r.length(1)
+	if r.err != nil {
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
+// Float64s reads a length-prefixed slice of floats.
+func (r *Reader) Float64s() []float64 {
+	n := r.length(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// Uint16s reads a length-prefixed slice of uint16s.
+func (r *Reader) Uint16s() []uint16 {
+	n := r.length(2)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(r.buf[r.off:])
+		r.off += 2
+	}
+	return out
+}
+
+// Ints reads a length-prefixed slice of ints.
+func (r *Reader) Ints() []int {
+	n := r.length(1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}

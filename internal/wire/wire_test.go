@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := &Writer{}
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 7)
+	w.Varint(-42)
+	w.Int(123456)
+	w.Int(-123456)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(math.Pi)
+	w.Float64(math.Inf(-1))
+	w.Float64(math.Copysign(0, -1))
+	w.String("")
+	w.String("héllo\x00world")
+	w.BytesField([]byte{1, 2, 3})
+	w.Float64s([]float64{1.5, -2.5})
+	w.Float64s(nil)
+	w.Uint16s([]uint16{0, 65535, 7})
+	w.Ints([]int{-1, 0, 99})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+7 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -42 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Int(); got != 123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Int(); got != -123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 = %v, want -Inf", got)
+	}
+	if got := r.Float64(); math.Signbit(got) == false || got != 0 {
+		t.Errorf("Float64 = %v, want -0", got)
+	}
+	if got := r.ReadString(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.ReadString(); got != "héllo\x00world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.BytesField(); string(got) != "\x01\x02\x03" {
+		t.Errorf("BytesField = %v", got)
+	}
+	if got := r.Float64s(); len(got) != 2 || got[0] != 1.5 || got[1] != -2.5 {
+		t.Errorf("Float64s = %v", got)
+	}
+	if got := r.Float64s(); len(got) != 0 {
+		t.Errorf("empty Float64s = %v", got)
+	}
+	if got := r.Uint16s(); len(got) != 3 || got[1] != 65535 {
+		t.Errorf("Uint16s = %v", got)
+	}
+	if got := r.Ints(); len(got) != 3 || got[0] != -1 || got[2] != 99 {
+		t.Errorf("Ints = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestTruncationAndGarbage(t *testing.T) {
+	w := &Writer{}
+	w.String("hello")
+	w.Float64(1)
+	full := w.Bytes()
+
+	// Every prefix of a valid payload must fail cleanly, never panic or
+	// over-allocate.
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		r.ReadString()
+		r.Float64()
+		if r.Err() == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+
+	// A huge claimed length must be rejected against the remaining bytes.
+	w2 := &Writer{}
+	w2.Uvarint(1 << 40)
+	r := NewReader(w2.Bytes())
+	if got := r.Float64s(); got != nil || r.Err() == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+
+	// Errors are sticky and reported by Done.
+	if err := r.Done(); err == nil || !strings.Contains(err.Error(), "length") {
+		t.Fatalf("Done after failure = %v", err)
+	}
+
+	// Trailing bytes are an error.
+	r2 := NewReader(append([]byte{}, full...))
+	r2.ReadString()
+	if err := r2.Done(); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+
+	// Invalid bool byte.
+	r3 := NewReader([]byte{2})
+	if r3.Bool(); r3.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
