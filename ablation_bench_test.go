@@ -4,6 +4,8 @@
 package sgf_test
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -18,7 +20,7 @@ func BenchmarkAblationSigmaOrder(b *testing.B) {
 	var res *eval.SigmaOrderAblation
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunSigmaOrderAblation(p, eval.OmegaSpec{Lo: 9, Hi: 9}, p.Cfg.K, 250)
+		res, err = eval.RunSigmaOrderAblation(context.Background(), p, eval.OmegaSpec{Lo: 9, Hi: 9}, p.Cfg.K, 250)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,7 +38,7 @@ func BenchmarkAblationMaxCost(b *testing.B) {
 	var res *eval.MaxCostAblation
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunMaxCostAblation(p, []float64{4, 32, 256}, 3000)
+		res, err = eval.RunMaxCostAblation(context.Background(), p, []float64{4, 32, 256}, 3000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +54,7 @@ func BenchmarkAblationParamMode(b *testing.B) {
 	var res *eval.ParamModeAblation
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunParamModeAblation(p, 3000)
+		res, err = eval.RunParamModeAblation(context.Background(), p, 3000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +108,7 @@ func BenchmarkSeedInferenceAttack(b *testing.B) {
 	var res *eval.AttackResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunSeedInference(p, eval.OmegaSpec{Lo: 9, Hi: 9}, 200)
+		res, err = eval.RunSeedInference(context.Background(), p, eval.OmegaSpec{Lo: 9, Hi: 9}, 200)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,6 +5,8 @@
 package sgf_test
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -64,7 +66,7 @@ func BenchmarkFigure1RelativeImprovement(b *testing.B) {
 	var res *eval.Fig12Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunFig12(p, 1, 1500)
+		res, err = eval.RunFig12(context.Background(), p, 1, 1500)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +82,7 @@ func BenchmarkFigure2ModelAccuracy(b *testing.B) {
 	var res *eval.Fig12Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunFig12(p, 1, 1500)
+		res, err = eval.RunFig12(context.Background(), p, 1, 1500)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +98,7 @@ func BenchmarkFigure3StatDistanceSingles(b *testing.B) {
 	var res *eval.DistanceResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunFig34(p)
+		res, err = eval.RunFig34(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +115,7 @@ func BenchmarkFigure4StatDistancePairs(b *testing.B) {
 	var res *eval.DistanceResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunFig34(p)
+		res, err = eval.RunFig34(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +132,7 @@ func BenchmarkFigure5GenerationPerformance(b *testing.B) {
 	var res *eval.PerfResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunFig5(p, []int{500, 1000})
+		res, err = eval.RunFig5(context.Background(), p, []int{500, 1000})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,7 +150,7 @@ func BenchmarkFigure6PrivacyTestPassRate(b *testing.B) {
 	var res *eval.PassRateResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunFig6(p, []int{10, 25, 50, 100}, []eval.OmegaSpec{{Lo: 8, Hi: 8}, {Lo: 9, Hi: 9}, {Lo: 5, Hi: 11}}, 250)
+		res, err = eval.RunFig6(context.Background(), p, []int{10, 25, 50, 100}, []eval.OmegaSpec{{Lo: 8, Hi: 8}, {Lo: 9, Hi: 9}, {Lo: 5, Hi: 11}}, 250)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +162,7 @@ func BenchmarkFigure6PrivacyTestPassRate(b *testing.B) {
 // cleaning statistics.
 func BenchmarkTable2DataCleaning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		stats, err := eval.RunTable2(20000, uint64(i))
+		stats, err := eval.RunTable2(context.Background(), 20000, uint64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +180,7 @@ func BenchmarkTable3ClassifierComparison(b *testing.B) {
 	var res *eval.Table3Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunTable3(p, 1)
+		res, err = eval.RunTable3(context.Background(), p, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +197,7 @@ func BenchmarkTable4PrivateClassifiers(b *testing.B) {
 	var res *eval.Table4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunTable4(p, []float64{1e-3, 1e-4, 1e-5})
+		res, err = eval.RunTable4(context.Background(), p, []float64{1e-3, 1e-4, 1e-5})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -211,7 +213,7 @@ func BenchmarkTable5DistinguishingGame(b *testing.B) {
 	var res *eval.Table5Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.RunTable5(p, 1200, 600)
+		res, err = eval.RunTable5(context.Background(), p, 1200, 600)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output into the
+// BENCH_*.json artifact CI uploads: one record per benchmark with its
+// ns/op, B/op, allocs/op and any custom metrics, so the perf trajectory of
+// the §6 harness can be tracked run over run.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | benchjson -o BENCH_1.json
+//
+// Lines that are not benchmark results (logs, PASS/ok trailers) are
+// ignored; a FAIL line makes the tool exit non-zero so a broken benchmark
+// fails the CI job even through a pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/buildinfo"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -<GOMAXPROCS> suffix kept, so
+	// results from differently sized runners stay distinguishable.
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present with -benchmem (zero otherwise).
+	BytesPerOp  int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric series (e.g. "candidates/sec").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the artifact shape.
+type Report struct {
+	Version    string   `json:"version"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark results
+// plus whether a FAIL marker was seen.
+func Parse(r io.Reader) ([]Result, bool, error) {
+	var out []Result
+	failed := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			failed = true
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, failed, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-8 1 123 ns/op 45 B/op ..." line.
+// The format is: name, iteration count, then value/unit pairs.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = int64(val)
+		case "allocs/op":
+			res.AllocsPerOp = int64(val)
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = val
+		}
+	}
+	return res, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, failed, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	report := Report{
+		Version:    buildinfo.Version,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contained a FAIL marker")
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+}

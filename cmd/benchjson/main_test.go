@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkPipelineBuild-8   	       1	1520304050 ns/op
+BenchmarkFigure6PrivacyTestPassRate-8 	       1	  80412345 ns/op	 1024 B/op	      12 allocs/op
+    bench_test.go:156:
+        Figure 6: percentage of candidates passing the privacy test (gamma=2)
+BenchmarkAblationSigmaOrder-8 	       2	  40206172 ns/op	         0.9500 pass-card-order	         0.4100 pass-index-order
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, failed, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("sample marked failed")
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+
+	build := results[0]
+	if build.Name != "BenchmarkPipelineBuild-8" || build.Iterations != 1 || build.NsPerOp != 1520304050 {
+		t.Fatalf("pipeline build row %+v", build)
+	}
+
+	fig6 := results[1]
+	if fig6.NsPerOp != 80412345 || fig6.BytesPerOp != 1024 || fig6.AllocsPerOp != 12 {
+		t.Fatalf("fig6 row %+v", fig6)
+	}
+
+	sigma := results[2]
+	if sigma.Iterations != 2 {
+		t.Fatalf("sigma iterations %d", sigma.Iterations)
+	}
+	if sigma.Extra["pass-card-order"] != 0.95 || sigma.Extra["pass-index-order"] != 0.41 {
+		t.Fatalf("sigma custom metrics %+v", sigma.Extra)
+	}
+}
+
+func TestParseDetectsFailure(t *testing.T) {
+	_, failed, err := Parse(strings.NewReader("--- FAIL: BenchmarkX\nFAIL\nexit status 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("FAIL marker not detected")
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	results, failed, err := Parse(strings.NewReader("random line\nBenchmarkBroken-8 notanumber 12 ns/op\n"))
+	if err != nil || failed {
+		t.Fatalf("err=%v failed=%v", err, failed)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from noise", len(results))
+	}
+}

@@ -1,7 +1,10 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (§6): Figures 1–6 and Tables 2–5, printed as text tables and
-// optionally written to a report file. Workload size is configurable; the
-// defaults run in a few minutes on a laptop, -quick in well under one.
+// optionally written to a report file. It drives eval.RunSuite — the same
+// code path the sgfd /v1/eval endpoint executes — so the CLI report and the
+// served JSON can never drift. Workload size is configurable; the defaults
+// run in a few minutes on a laptop, -quick in well under one. SIGINT stops
+// the run at the next section boundary.
 //
 // Usage:
 //
@@ -9,36 +12,64 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"os/signal"
 	"runtime"
-	"time"
+	"strings"
+	"syscall"
 
 	"repro/internal/eval"
 )
 
 func main() {
 	var (
-		n     = flag.Int("n", 250000, "simulated clean records")
-		synth = flag.Int("synth", 20000, "synthetic records per omega variant")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("out", "", "also write the report to this file")
-		quick = flag.Bool("quick", false, "small fast run (n=40000, synth=3000)")
-		reps  = flag.Int("reps", 3, "noise repetitions for Fig. 1 and runs for Table 3")
+		n        = flag.Int("n", 250000, "simulated clean records")
+		synth    = flag.Int("synth", 20000, "synthetic records per omega variant")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "", "also write the report to this file")
+		quick    = flag.Bool("quick", false, "small fast run (n=40000, synth=3000)")
+		reps     = flag.Int("reps", 3, "noise repetitions for Fig. 1 and runs for Table 3")
+		sections = flag.String("sections", "", "comma-separated report sections to run (empty = all)")
 	)
 	flag.Parse()
 	if *quick {
 		*n, *synth = 40000, 3000
 	}
-	if err := run(*n, *synth, *seed, *reps, *out); err != nil {
+
+	cfg := eval.DefaultSuiteConfig(*n, *seed)
+	cfg.SynthPerVariant = *synth
+	cfg.Reps = *reps
+	if *sections != "" {
+		cfg.Sections = strings.Split(*sections, ",")
+	}
+
+	// SIGINT/SIGTERM cancel the suite's context: the drivers notice at the
+	// next loop boundary and the run exits promptly instead of completing
+	// §6 for nobody.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, cfg, *out); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, synth int, seed uint64, reps int, outPath string) error {
+// run executes the suite and writes the rendered report to stdout (and
+// outPath when given). Progress goes to stderr so a redirected report stays
+// clean. The report file is created up front, so a bad path fails before
+// hours of evaluation, not after.
+func run(ctx context.Context, cfg eval.SuiteConfig, outPath string) error {
 	var w io.Writer = os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -49,103 +80,16 @@ func run(n, synth int, seed uint64, reps int, outPath string) error {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	fmt.Fprintf(w, "Plausible Deniability for Privacy-Preserving Data Synthesis — evaluation\n")
-	fmt.Fprintf(w, "n=%d synth-per-variant=%d seed=%d GOMAXPROCS=%d\n\n", n, synth, seed, runtime.GOMAXPROCS(0))
+	progress := log.New(os.Stderr, "", log.LstdFlags)
+	progress.Printf("n=%d synth-per-variant=%d seed=%d GOMAXPROCS=%d",
+		cfg.N, cfg.SynthPerVariant, cfg.Seed, runtime.GOMAXPROCS(0))
 
-	start := time.Now()
-	cfg := eval.DefaultConfig(n, seed)
-	cfg.SynthPerVariant = synth
-	p, err := eval.BuildPipeline(cfg)
+	res, err := eval.RunSuite(ctx, cfg, func(stage string, frac float64) {
+		progress.Printf("[%3.0f%%] %s", 100*frac, stage)
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "pipeline: DT=%d DP=%d DS=%d test=%d; model learning %v; synthesis %v\n",
-		p.DT.Len(), p.DP.Len(), p.DS.Len(), p.Test.Len(), p.ModelLearnTime, p.SynthTime)
-	fmt.Fprintf(w, "model budget: %v (structure %v, parameters %v)\n",
-		p.Budgets.Model, p.Budgets.Structure, p.Budgets.Parameters)
-	fmt.Fprintf(w, "structure: %d edges; order %v\n\n", p.Structure.Graph.NumEdges(), p.Structure.Order)
-	for _, om := range cfg.Omegas {
-		st := p.SynthStats[om.Name()]
-		fmt.Fprintf(w, "variant %-18s %d candidates -> %d released (%.1f%%)\n",
-			om.Name(), st.Candidates, st.Released, 100*st.PassRate())
-	}
-	fmt.Fprintln(w)
-
-	// Table 2: cleaning statistics at the same raw scale.
-	t2, err := eval.RunTable2(n, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "Table 2: %s\n\n", t2)
-
-	fig12, err := eval.RunFig12(p, reps, 5000)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, fig12.RenderFig1())
-	fmt.Fprintln(w, fig12.RenderFig2())
-
-	fig34, err := eval.RunFig34(p)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, fig34.Render())
-
-	fig5, err := eval.RunFig5(p, []int{2500, 5000, 10000, 20000})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, fig5.Render())
-
-	fig6, err := eval.RunFig6(p, nil, nil, 400)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, fig6.Render())
-
-	t3, err := eval.RunTable3(p, reps)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t3.Render())
-
-	t4, err := eval.RunTable4(p, nil)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t4.Render())
-
-	t5, err := eval.RunTable5(p, 5000, 2500)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t5.Render())
-
-	// Beyond the paper: seed-inference attack and design-choice ablations.
-	attack, err := eval.RunSeedInference(p, eval.OmegaSpec{Lo: 9, Hi: 9}, 500)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, attack.Render())
-
-	sigma, err := eval.RunSigmaOrderAblation(p, eval.OmegaSpec{Lo: 9, Hi: 9}, p.Cfg.K, 500)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, sigma.Render())
-
-	maxcost, err := eval.RunMaxCostAblation(p, nil, 5000)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, maxcost.Render())
-
-	pmode, err := eval.RunParamModeAblation(p, 5000)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, pmode.Render())
-
-	fmt.Fprintf(w, "total runtime: %v\n", time.Since(start))
-	return nil
+	_, err = io.WriteString(w, res.Render())
+	return err
 }

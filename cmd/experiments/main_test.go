@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/eval"
 )
 
 func TestRunAllExperimentsSmall(t *testing.T) {
@@ -13,7 +17,10 @@ func TestRunAllExperimentsSmall(t *testing.T) {
 	}
 	dir := t.TempDir()
 	out := filepath.Join(dir, "report.txt")
-	if err := run(20000, 2000, 5, 1, out); err != nil {
+	cfg := eval.DefaultSuiteConfig(20000, 5)
+	cfg.SynthPerVariant = 2000
+	cfg.Reps = 1
+	if err := run(context.Background(), cfg, out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -30,5 +37,18 @@ func TestRunAllExperimentsSmall(t *testing.T) {
 		if !strings.Contains(report, section) {
 			t.Errorf("report missing section %q", section)
 		}
+	}
+}
+
+// TestRunHonoursCancelledContext is the SIGINT path: a cancelled context
+// must abort the run promptly with context.Canceled instead of completing
+// the full §6 sweep.
+func TestRunHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := eval.DefaultSuiteConfig(20000, 5)
+	err := run(ctx, cfg, "")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
 	}
 }

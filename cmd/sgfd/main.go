@@ -17,20 +17,30 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "total synthesis workers shared across requests (0 = GOMAXPROCS)")
-		cacheCap = flag.Int("cache", 8, "maximum resident models (LRU)")
-		maxBody  = flag.Int64("max-upload", 32<<20, "maximum fit request body in bytes")
-		storeDir = flag.String("store-dir", "", "directory for model snapshots; fitted models persist here and warm-start on boot (empty = no persistence)")
-		storeMax = flag.Int64("store-max-bytes", 0, "cap on total snapshot bytes in store-dir, oldest evicted first (0 = unlimited)")
-		quiet    = flag.Bool("quiet", false, "disable per-request logging")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "total synthesis workers shared across requests (0 = GOMAXPROCS)")
+		cacheCap    = flag.Int("cache", 8, "maximum resident models (LRU)")
+		maxBody     = flag.Int64("max-upload", 32<<20, "maximum fit request body in bytes")
+		storeDir    = flag.String("store-dir", "", "directory for model snapshots; fitted models persist here and warm-start on boot (empty = no persistence)")
+		storeMax    = flag.Int64("store-max-bytes", 0, "cap on total snapshot bytes in store-dir, oldest evicted first (0 = unlimited)")
+		evalRunning = flag.Int("eval-running", 1, "maximum evaluation jobs executing at once")
+		evalPending = flag.Int("eval-pending", 8, "maximum unfinished evaluation jobs before /v1/eval returns 429")
+		evalRetain  = flag.Int("eval-retain", 16, "finished evaluation jobs kept for result polling (oldest evicted)")
+		evalMaxN    = flag.Int("eval-max-n", 200_000, "largest simulated-record count one evaluation job may request")
+		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version)
+		return
+	}
 
 	logger := log.New(os.Stderr, "sgfd ", log.LstdFlags)
 	reqLog := logger
@@ -43,6 +53,10 @@ func main() {
 		MaxUploadBytes: *maxBody,
 		StoreDir:       *storeDir,
 		StoreMaxBytes:  *storeMax,
+		EvalMaxRunning: *evalRunning,
+		EvalMaxPending: *evalPending,
+		EvalRetain:     *evalRetain,
+		EvalMaxN:       *evalMaxN,
 		Log:            reqLog,
 	})
 	if err != nil {
@@ -67,7 +81,8 @@ func main() {
 	if *storeDir != "" {
 		storeDesc = *storeDir
 	}
-	logger.Printf("listening on %s (workers=%d cache=%d store=%s)", *addr, *workers, *cacheCap, storeDesc)
+	logger.Printf("sgfd %s listening on %s (workers=%d cache=%d store=%s)",
+		buildinfo.Version, *addr, *workers, *cacheCap, storeDesc)
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,11 @@
+// Package buildinfo carries the build version stamped at link time, so
+// exported evaluation results and /healthz responses are traceable to the
+// commit that produced them.
+package buildinfo
+
+// Version identifies this build. CI release builds override it with
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=<commit>"
+//
+// and anything built without the flag reports "dev".
+var Version = "dev"

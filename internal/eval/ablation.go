@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bayesnet"
@@ -37,7 +38,8 @@ func (a *SigmaOrderAblation) Render() string {
 }
 
 // RunSigmaOrderAblation measures both pass rates on the pipeline's model.
-func RunSigmaOrderAblation(p *Pipeline, om OmegaSpec, k, candidates int) (*SigmaOrderAblation, error) {
+// ctx is honoured inside the generation loops.
+func RunSigmaOrderAblation(ctx context.Context, p *Pipeline, om OmegaSpec, k, candidates int) (*SigmaOrderAblation, error) {
 	if candidates <= 0 {
 		candidates = 300
 	}
@@ -56,7 +58,7 @@ func RunSigmaOrderAblation(p *Pipeline, om OmegaSpec, k, candidates int) (*Sigma
 		if err != nil {
 			return 0, err
 		}
-		_, stats, err := core.Generate(mech, core.GenConfig{
+		_, stats, err := core.GenerateCtx(ctx, mech, core.GenConfig{
 			Candidates: candidates, Workers: p.Cfg.Workers, Seed: p.Cfg.Seed + 0xab1,
 		})
 		if err != nil {
@@ -119,8 +121,8 @@ func (a *MaxCostAblation) Render() string {
 }
 
 // RunMaxCostAblation learns a structure+model per cap and measures sample
-// fidelity.
-func RunMaxCostAblation(p *Pipeline, maxCosts []float64, samples int) (*MaxCostAblation, error) {
+// fidelity. ctx is honoured between cap settings.
+func RunMaxCostAblation(ctx context.Context, p *Pipeline, maxCosts []float64, samples int) (*MaxCostAblation, error) {
 	if len(maxCosts) == 0 {
 		maxCosts = []float64{4, 32, 256, 2048}
 	}
@@ -130,6 +132,9 @@ func RunMaxCostAblation(p *Pipeline, maxCosts []float64, samples int) (*MaxCostA
 	res := &MaxCostAblation{MaxCosts: maxCosts}
 	for _, mc := range maxCosts {
 		for _, dp := range []bool{false, true} {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
 			scfg := bayesnet.StructureConfig{MaxCost: mc, MinCorr: 0.01}
 			mcfg := bayesnet.ModelConfig{Alpha: 1, NoiseKey: fmt.Sprintf("ablate-%v-%v", mc, dp)}
 			if dp {
@@ -180,13 +185,16 @@ func (a *ParamModeAblation) Render() string {
 }
 
 // RunParamModeAblation learns both model variants over the pipeline's
-// structure and samples each.
-func RunParamModeAblation(p *Pipeline, samples int) (*ParamModeAblation, error) {
+// structure and samples each. ctx is honoured between variants.
+func RunParamModeAblation(ctx context.Context, p *Pipeline, samples int) (*ParamModeAblation, error) {
 	if samples <= 0 {
 		samples = 5000
 	}
 	res := &ParamModeAblation{}
 	for _, mode := range []bayesnet.ParamMode{bayesnet.MAPEstimate, bayesnet.PosteriorSample} {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		model, err := bayesnet.LearnModel(p.DP, p.Bkt, p.Structure, bayesnet.ModelConfig{
 			Alpha: 1, Mode: mode, NoiseKey: fmt.Sprintf("ablate-mode-%d", mode),
 		})

@@ -1,13 +1,14 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunSeedInference(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunSeedInference(p, OmegaSpec{9, 9}, 200)
+	res, err := RunSeedInference(context.Background(), p, OmegaSpec{9, 9}, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestRunSeedInference(t *testing.T) {
 
 func TestSigmaOrderAblation(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunSigmaOrderAblation(p, OmegaSpec{9, 9}, 20, 200)
+	res, err := RunSigmaOrderAblation(context.Background(), p, OmegaSpec{9, 9}, 20, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSigmaOrderAblation(t *testing.T) {
 
 func TestMaxCostAblation(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunMaxCostAblation(p, []float64{4, 64}, 2000)
+	res, err := RunMaxCostAblation(context.Background(), p, []float64{4, 64}, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestMaxCostAblation(t *testing.T) {
 
 func TestParamModeAblation(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunParamModeAblation(p, 2000)
+	res, err := RunParamModeAblation(context.Background(), p, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}

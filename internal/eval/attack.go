@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -49,8 +50,9 @@ func (r *AttackResult) Render() string {
 // maximum-likelihood seed-identification game against both groups. The
 // adversary computes Pr{y = M(d)} for every record d of the seed dataset
 // and guesses uniformly among the maximizers; its expected success on a
-// candidate is [seed ∈ argmax] / |argmax|.
-func RunSeedInference(p *Pipeline, om OmegaSpec, candidates int) (*AttackResult, error) {
+// candidate is [seed ∈ argmax] / |argmax|. ctx is honoured between
+// candidates.
+func RunSeedInference(ctx context.Context, p *Pipeline, om OmegaSpec, candidates int) (*AttackResult, error) {
 	if candidates <= 0 {
 		candidates = 300
 	}
@@ -72,6 +74,11 @@ func RunSeedInference(p *Pipeline, om OmegaSpec, candidates int) (*AttackResult,
 
 	var sumReleased, sumRejected float64
 	for i := 0; i < candidates; i++ {
+		if i%32 == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		seedIdx := r.Intn(p.DS.Len())
 		seed := p.DS.Row(seedIdx)
 		y := syn.Generate(seed, r)

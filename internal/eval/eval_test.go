@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -76,7 +77,7 @@ func TestBuildPipelineRejectsTinyN(t *testing.T) {
 
 func TestRunFig12Shapes(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunFig12(p, 1, 500)
+	res, err := RunFig12(context.Background(), p, 1, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRunFig12Shapes(t *testing.T) {
 
 func TestRunFig34Shapes(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunFig34(p)
+	res, err := RunFig34(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestPaperShapeFig4(t *testing.T) {
 		t.Errorf("strong-pair distances at scale: synthetics %.4f not clearly below marginals %.4f",
 			synTotal, margTotal)
 	}
-	res, err := RunFig34(p)
+	res, err := RunFig34(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func strongPairDistances(t *testing.T, p *Pipeline, variant string) (synSum, mar
 
 func TestRunFig5Shapes(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunFig5(p, []int{100, 200})
+	res, err := RunFig5(context.Background(), p, []int{100, 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestRunFig5Shapes(t *testing.T) {
 func TestRunFig6Shapes(t *testing.T) {
 	p := testPipeline(t)
 	ks := []int{5, 20, 60}
-	res, err := RunFig6(p, ks, []OmegaSpec{{9, 9}, {5, 11}}, 150)
+	res, err := RunFig6(context.Background(), p, ks, []OmegaSpec{{9, 9}, {5, 11}}, 150)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,13 +283,13 @@ func TestRunFig6Shapes(t *testing.T) {
 
 func TestRunFig6RejectsOversizedK(t *testing.T) {
 	p := testPipeline(t)
-	if _, err := RunFig6(p, []int{p.DS.Len() + 1}, []OmegaSpec{{9, 9}}, 10); err == nil {
+	if _, err := RunFig6(context.Background(), p, []int{p.DS.Len() + 1}, []OmegaSpec{{9, 9}}, 10); err == nil {
 		t.Fatal("k > |DS| accepted")
 	}
 }
 
 func TestRunTable2(t *testing.T) {
-	st, err := RunTable2(4000, 3)
+	st, err := RunTable2(context.Background(), 4000, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestRunTable2(t *testing.T) {
 
 func TestRunTable3Shape(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunTable3(p, 1)
+	res, err := RunTable3(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestRunTable3Shape(t *testing.T) {
 
 func TestRunTable4Shape(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunTable4(p, []float64{1e-3, 1e-4})
+	res, err := RunTable4(context.Background(), p, []float64{1e-3, 1e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestRunTable4Shape(t *testing.T) {
 
 func TestRunTable5Shape(t *testing.T) {
 	p := testPipeline(t)
-	res, err := RunTable5(p, 200, 100)
+	res, err := RunTable5(context.Background(), p, 200, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bayesnet"
@@ -30,7 +31,8 @@ type Fig12Result struct {
 // of that attribute given all the others (exact Markov-blanket inference);
 // the error is the fraction of wrong predictions. DP models are re-learned
 // `reps` times with fresh noise and averaged, as in the paper (20 reps).
-func RunFig12(p *Pipeline, reps, probes int) (*Fig12Result, error) {
+// ctx is honoured between model relearns and per-attribute sweeps.
+func RunFig12(ctx context.Context, p *Pipeline, reps, probes int) (*Fig12Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -101,6 +103,9 @@ func RunFig12(p *Pipeline, reps, probes int) (*Fig12Result, error) {
 	average := func(dp bool, eps float64, nreps int) ([]float64, error) {
 		sum := make([]float64, m)
 		for rep := 0; rep < nreps; rep++ {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
 			acc, err := accAt(dp, eps, rep)
 			if err != nil {
 				return nil, err
@@ -147,6 +152,9 @@ func RunFig12(p *Pipeline, reps, probes int) (*Fig12Result, error) {
 	// Figure 2's random forest: one per attribute, trained on the same
 	// data the generative model saw (DT ∪ DP equivalent: use DP).
 	for a := 0; a < m; a++ {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		prob, err := ml.FromDataset(p.DP, a)
 		if err != nil {
 			return nil, err

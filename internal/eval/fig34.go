@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -23,7 +24,8 @@ type DistanceResult struct {
 // split in two halves; the first half is the reference. The "Reals" series
 // compares it against the second half (the noise floor of the metric); the
 // other series compare it against marginals and each ω synthetic dataset.
-func RunFig34(p *Pipeline) (*DistanceResult, error) {
+// ctx is honoured between series.
+func RunFig34(ctx context.Context, p *Pipeline) (*DistanceResult, error) {
 	half := p.Test.Len() / 2
 	if half < 10 {
 		return nil, fmt.Errorf("eval: test split too small for distance comparison (%d)", p.Test.Len())
@@ -39,16 +41,26 @@ func RunFig34(p *Pipeline) (*DistanceResult, error) {
 		Singles: map[string]stats.FiveNumber{},
 		Pairs:   map[string]stats.FiveNumber{},
 	}
-	addSeries := func(name string, ds *dataset.Dataset) {
+	addSeries := func(name string, ds *dataset.Dataset) error {
+		if err := checkCtx(ctx); err != nil {
+			return err
+		}
 		res.Series = append(res.Series, name)
 		res.Singles[name] = stats.Summarize(singleDistances(reference, ds))
 		res.Pairs[name] = stats.Summarize(pairDistances(reference, ds))
+		return nil
 	}
 
-	addSeries("Reals", otherReals)
-	addSeries("Marginals", p.Marginals)
+	if err := addSeries("Reals", otherReals); err != nil {
+		return nil, err
+	}
+	if err := addSeries("Marginals", p.Marginals); err != nil {
+		return nil, err
+	}
 	for _, om := range p.Cfg.Omegas {
-		addSeries(om.Name(), p.Synths[om.Name()])
+		if err := addSeries(om.Name(), p.Synths[om.Name()]); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,8 +21,9 @@ type PerfResult struct {
 
 // RunFig5 measures generation throughput with the paper's Fig. 5 parameters
 // (ω = 9, k = 50, γ = 4; max_plausible and max_check_plausible from the
-// pipeline config) at each requested candidate count.
-func RunFig5(p *Pipeline, counts []int) (*PerfResult, error) {
+// pipeline config) at each requested candidate count. ctx stops the
+// generation loops at the next candidate boundary.
+func RunFig5(ctx context.Context, p *Pipeline, counts []int) (*PerfResult, error) {
 	if len(counts) == 0 {
 		counts = []int{2500, 5000, 10000, 20000}
 	}
@@ -31,7 +33,7 @@ func RunFig5(p *Pipeline, counts []int) (*PerfResult, error) {
 	}
 	res := &PerfResult{ModelLearn: p.ModelLearnTime, Counts: counts}
 	for ci, n := range counts {
-		_, stats, err := core.Generate(mech, core.GenConfig{
+		_, stats, err := core.GenerateCtx(ctx, mech, core.GenConfig{
 			Candidates: n,
 			Workers:    p.Cfg.Workers,
 			Seed:       p.Cfg.Seed + uint64(ci),
@@ -56,8 +58,9 @@ type PassRateResult struct {
 }
 
 // RunFig6 reproduces Figure 6: γ = 2, k swept, one candidate batch per
-// (ω, k) combination.
-func RunFig6(p *Pipeline, ks []int, omegas []OmegaSpec, candidates int) (*PassRateResult, error) {
+// (ω, k) combination. ctx is honoured between combinations and inside the
+// generation loops.
+func RunFig6(ctx context.Context, p *Pipeline, ks []int, omegas []OmegaSpec, candidates int) (*PassRateResult, error) {
 	if len(ks) == 0 {
 		ks = []int{10, 25, 50, 100, 150, 200, 250}
 	}
@@ -87,7 +90,7 @@ func RunFig6(p *Pipeline, ks []int, omegas []OmegaSpec, candidates int) (*PassRa
 			if err != nil {
 				return nil, err
 			}
-			_, stats, err := core.Generate(mech, core.GenConfig{
+			_, stats, err := core.GenerateCtx(ctx, mech, core.GenConfig{
 				Candidates: candidates,
 				Workers:    p.Cfg.Workers,
 				Seed:       p.Cfg.Seed ^ uint64(k)<<16 ^ uint64(om.Lo)<<8 ^ uint64(om.Hi),

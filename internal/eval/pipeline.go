@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -20,10 +21,37 @@ import (
 	"repro/internal/rng"
 )
 
+// ProgressFunc receives coarse progress reports from the long-running
+// drivers: a human-readable stage name and an overall completion fraction
+// in [0, 1]. Fractions are non-decreasing within one run. A nil ProgressFunc
+// is always allowed.
+type ProgressFunc func(stage string, frac float64)
+
+// report invokes p when non-nil.
+func (p ProgressFunc) report(stage string, frac float64) {
+	if p != nil {
+		p(stage, frac)
+	}
+}
+
+// checkCtx returns ctx's error if it has been cancelled. The drivers call
+// it at loop boundaries so a gone caller (an aborted HTTP request, a SIGINT)
+// stops the run at the next cheap opportunity instead of running §6 to
+// completion for nobody.
+func checkCtx(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // OmegaSpec names one ω setting of §6: fixed (Lo == Hi) or uniform random
-// in [Lo, Hi].
+// in [Lo, Hi]. The JSON form is the wire shape of the /v1/eval endpoint.
 type OmegaSpec struct {
-	Lo, Hi int
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // Name renders the spec the way the paper labels its table columns.
@@ -126,6 +154,13 @@ type Pipeline struct {
 // BuildPipeline simulates the data, learns the DP model and generates the
 // synthetic datasets for every configured ω variant.
 func BuildPipeline(cfg Config) (*Pipeline, error) {
+	return BuildPipelineCtx(context.Background(), cfg, nil)
+}
+
+// BuildPipelineCtx is BuildPipeline with cancellation and progress: ctx is
+// honoured between phases and inside the synthesis loops, and progress (may
+// be nil) receives the phase name plus a completion fraction in [0, 1].
+func BuildPipelineCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*Pipeline, error) {
 	if cfg.N < 100 {
 		return nil, fmt.Errorf("eval: need at least 100 records, got %d", cfg.N)
 	}
@@ -137,6 +172,7 @@ func BuildPipeline(cfg Config) (*Pipeline, error) {
 	}
 	r := rng.New(cfg.Seed)
 
+	progress.report("simulate", 0)
 	p := &Pipeline{Cfg: cfg}
 	pop := acs.NewPopulation()
 	p.Meta = pop.Meta()
@@ -156,7 +192,11 @@ func BuildPipeline(cfg Config) (*Pipeline, error) {
 	if p.Budgets, err = privacy.CalibrateModel(m, cfg.ModelEps, cfg.ModelDelta); err != nil {
 		return nil, err
 	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 
+	progress.report("learn model", 0.1)
 	learnStart := time.Now()
 	p.Structure, err = bayesnet.LearnStructure(p.DT, p.Bkt, bayesnet.StructureConfig{
 		MaxCost: cfg.MaxCost,
@@ -190,13 +230,18 @@ func BuildPipeline(cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	p.ModelLearnTime = time.Since(learnStart)
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 
-	// Synthesize each ω variant.
+	// Synthesize each ω variant. The fractions allot [0.3, 0.95] to the
+	// synthesis loop, split evenly across variants.
 	synthStart := time.Now()
 	p.Synths = make(map[string]*dataset.Dataset, len(cfg.Omegas))
 	p.SynthStats = make(map[string]core.GenStats, len(cfg.Omegas))
-	for _, om := range cfg.Omegas {
-		ds, stats, err := p.GenerateVariant(om, cfg.SynthPerVariant)
+	for vi, om := range cfg.Omegas {
+		progress.report("synthesize "+om.Name(), 0.3+0.65*float64(vi)/float64(len(cfg.Omegas)))
+		ds, stats, err := p.GenerateVariantCtx(ctx, om, cfg.SynthPerVariant)
 		if err != nil {
 			return nil, fmt.Errorf("eval: variant %s: %w", om.Name(), err)
 		}
@@ -206,12 +251,19 @@ func BuildPipeline(cfg Config) (*Pipeline, error) {
 	p.SynthTime = time.Since(synthStart)
 
 	// Marginals baseline dataset of the same size.
+	progress.report("marginals baseline", 0.95)
 	mr := rng.New(cfg.Seed + 0x9e37)
 	marg := dataset.New(p.Meta)
 	for i := 0; i < cfg.SynthPerVariant; i++ {
+		if i%4096 == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		marg.Append(p.MarginalModel.SampleRecord(mr))
 	}
 	p.Marginals = marg
+	progress.report("pipeline ready", 1)
 	return p, nil
 }
 
@@ -233,10 +285,16 @@ func (p *Pipeline) Mechanism(om OmegaSpec) (*core.Mechanism, error) {
 
 // GenerateVariant produces `count` released records for one ω variant.
 func (p *Pipeline) GenerateVariant(om OmegaSpec, count int) (*dataset.Dataset, core.GenStats, error) {
+	return p.GenerateVariantCtx(context.Background(), om, count)
+}
+
+// GenerateVariantCtx is GenerateVariant with cancellation: workers stop at
+// the next candidate boundary when ctx is cancelled.
+func (p *Pipeline) GenerateVariantCtx(ctx context.Context, om OmegaSpec, count int) (*dataset.Dataset, core.GenStats, error) {
 	mech, err := p.Mechanism(om)
 	if err != nil {
 		return nil, core.GenStats{}, err
 	}
 	seed := p.Cfg.Seed ^ uint64(om.Lo)<<32 ^ uint64(om.Hi)<<40
-	return core.GenerateTarget(mech, count, 200*count, p.Cfg.Workers, seed)
+	return core.GenerateTargetCtx(ctx, mech, count, 200*count, p.Cfg.Workers, seed)
 }

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/acs"
@@ -13,7 +14,10 @@ import (
 // RunTable2 reproduces the extraction/cleaning statistics of Table 2 by
 // exporting a dirty raw file from the simulator and running the §4
 // cleaning pipeline on it.
-func RunTable2(n int, seed uint64) (dataset.CleanStats, error) {
+func RunTable2(ctx context.Context, n int, seed uint64) (dataset.CleanStats, error) {
+	if err := checkCtx(ctx); err != nil {
+		return dataset.CleanStats{}, err
+	}
 	pop := acs.NewPopulation()
 	var buf bytes.Buffer
 	if err := acs.WriteDirtyCSV(&buf, pop, rng.New(seed), n, acs.DefaultDirtyConfig()); err != nil {
@@ -41,7 +45,8 @@ type Table3Result struct {
 // marginals and each synthetic variant; accuracy on held-out reals and
 // agreement with the reals-trained classifier of the same family, averaged
 // over `reps` runs with fresh train/test resamples (the paper averages 5).
-func RunTable3(p *Pipeline, reps int) (*Table3Result, error) {
+// ctx is honoured between training sets.
+func RunTable3(ctx context.Context, p *Pipeline, reps int) (*Table3Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -107,6 +112,9 @@ func RunTable3(p *Pipeline, reps int) (*Table3Result, error) {
 		baselineSum += ml.Accuracy(ml.ConstantClassifier(baselineProb.MajorityClass()), testProb)
 
 		for si, set := range sets {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
 			var tree, forest, ada ml.Classifier
 			if set.name == "Reals" {
 				tree, forest, ada = refTree, refRF, refAda
@@ -156,7 +164,8 @@ type Table4Result struct {
 // LR/SVM trained on marginals and synthetics. ε = 1 (matching the
 // generative model's budget) and λ is swept over {1e-3 … 1e-6}, picking the
 // value that maximizes the non-private accuracy, exactly as in §6.3.
-func RunTable4(p *Pipeline, lambdas []float64) (*Table4Result, error) {
+// ctx is honoured between training regimes.
+func RunTable4(ctx context.Context, p *Pipeline, lambdas []float64) (*Table4Result, error) {
 	if len(lambdas) == 0 {
 		lambdas = []float64{1e-3, 1e-4, 1e-5, 1e-6}
 	}
@@ -176,6 +185,9 @@ func RunTable4(p *Pipeline, lambdas []float64) (*Table4Result, error) {
 	// λ selection on the non-private models.
 	bestLambda, bestScore := lambdas[0], -1.0
 	for _, l := range lambdas {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
 		lr, err := ml.TrainLinear(realProb, ml.ERMConfig{Loss: ml.LogisticLoss, Lambda: l})
 		if err != nil {
 			return nil, err
@@ -232,6 +244,9 @@ func RunTable4(p *Pipeline, lambdas []float64) (*Table4Result, error) {
 	addRow("Objective Perturbation", lrObj, svmObj)
 
 	synthRow := func(name string, ds *dataset.Dataset) error {
+		if err := checkCtx(ctx); err != nil {
+			return err
+		}
 		prob, err := ml.FromDataset(ds, target)
 		if err != nil {
 			return err
@@ -274,8 +289,16 @@ type Table5Result struct {
 // trained on a balanced mix of real and synthetic records (labels: real=0,
 // synthetic=1) and evaluated on a disjoint balanced mix; its accuracy is
 // the distinguishing power. The "Reals" row plays reals against other
-// reals, pinning the 50% blind baseline.
-func RunTable5(p *Pipeline, nTrain, nTest int) (*Table5Result, error) {
+// reals, pinning the 50% blind baseline. ctx is honoured between games.
+// Non-positive sizes select the full-report workload (5000/2500), clamped
+// below to what the test split can feed.
+func RunTable5(ctx context.Context, p *Pipeline, nTrain, nTest int) (*Table5Result, error) {
+	if nTrain <= 0 {
+		nTrain = 5000
+	}
+	if nTest <= 0 {
+		nTest = 2500
+	}
 	r := rng.New(p.Cfg.Seed + 0x7a5)
 
 	reals := p.Test.Shuffled(r.Split())
@@ -287,6 +310,9 @@ func RunTable5(p *Pipeline, nTrain, nTest int) (*Table5Result, error) {
 
 	res := &Table5Result{}
 	game := func(name string, synthetic *dataset.Dataset) error {
+		if err := checkCtx(ctx); err != nil {
+			return err
+		}
 		// Real records: first nTrain train, next nTest test.
 		// Synthetic records: same split from the synthetic dataset.
 		synth := synthetic.Shuffled(r.Split())

@@ -1,0 +1,387 @@
+// Package jobs implements sgfd's asynchronous job subsystem: long-running
+// work (the §6 evaluation pipeline) is launched once, tracked by ID through
+// queued → running → done/failed, reports monotone progress, can be
+// cancelled mid-run, and keeps its result around under an LRU retention
+// bound so clients can poll for it.
+//
+// The package is deliberately workload-agnostic: a job is any
+// func(ctx, progress) (any, error). The HTTP layer decides what runs (an
+// eval.RunSuite call holding worker-pool tokens) and how results serialize.
+package jobs
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is the lifecycle state of a job.
+type State string
+
+const (
+	// StateQueued means the job is admitted but waiting for a run slot.
+	StateQueued State = "queued"
+	// StateRunning means the job's function is executing.
+	StateRunning State = "running"
+	// StateDone means the function returned a result.
+	StateDone State = "done"
+	// StateFailed means the function returned an error or was cancelled
+	// (the cancellation reason is recorded on the job).
+	StateFailed State = "failed"
+)
+
+// Finished reports whether s is a terminal state.
+func (s State) Finished() bool { return s == StateDone || s == StateFailed }
+
+// ProgressFunc receives stage names and completion fractions from a running
+// job. The manager clamps fractions so observed progress is monotonically
+// non-decreasing in [0, 1] whatever the job reports.
+type ProgressFunc func(stage string, frac float64)
+
+// Fn is the work a job executes. It must honour ctx: cancellation is
+// delivered through it, and a prompt return is what frees the run slot.
+type Fn func(ctx context.Context, progress ProgressFunc) (any, error)
+
+var (
+	// ErrTooManyJobs is returned by Launch when the unfinished-job limit is
+	// reached; the HTTP layer maps it to 429.
+	ErrTooManyJobs = errors.New("jobs: too many jobs queued or running, retry later")
+	// ErrUnknownJob is returned for IDs the manager does not know (never
+	// admitted, or evicted by retention); the HTTP layer maps it to 404.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrNotFinished is returned by Result while the job is still queued or
+	// running; the HTTP layer maps it to 409.
+	ErrNotFinished = errors.New("jobs: job has not finished")
+)
+
+// Job is one tracked unit of work. ID, Label and Created are immutable;
+// everything else is guarded by mu.
+type Job struct {
+	// ID is the public handle ("j-" + 16 hex digits, crypto-random).
+	ID string
+	// Label names the workload for listings (e.g. "eval").
+	Label string
+	// Created is the admission time.
+	Created time.Time
+
+	cancel context.CancelFunc
+	// done is closed when the job reaches a terminal state.
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	stage    string
+	progress float64
+	started  time.Time
+	finished time.Time
+	err      error
+	result   any
+
+	elem *list.Element // position in Manager.order, guarded by Manager.mu
+}
+
+// Info is a point-in-time snapshot of a job, shaped for JSON.
+type Info struct {
+	ID       string    `json:"id"`
+	Label    string    `json:"label,omitempty"`
+	State    State     `json:"state"`
+	Stage    string    `json:"stage,omitempty"`
+	Progress float64   `json:"progress"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	// RunMS is the wall-clock run time so far (final once finished; zero
+	// while queued).
+	RunMS int64 `json:"run_ms"`
+}
+
+// Info snapshots the job.
+func (j *Job) Info() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID:       j.ID,
+		Label:    j.Label,
+		State:    j.state,
+		Stage:    j.stage,
+		Progress: j.progress,
+		Created:  j.Created,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	switch {
+	case j.state == StateRunning:
+		info.RunMS = time.Since(j.started).Milliseconds()
+	case j.state.Finished() && !j.started.IsZero():
+		info.RunMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	return info
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's outcome: the function's return value once done,
+// its error once failed, ErrNotFinished before either.
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Finished() {
+		return nil, ErrNotFinished
+	}
+	return j.result, j.err
+}
+
+// setProgress records a progress report, clamped so the observable fraction
+// never decreases and never exceeds 1.
+func (j *Job) setProgress(stage string, frac float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	j.stage = stage
+	if frac > 1 {
+		frac = 1
+	}
+	if frac > j.progress {
+		j.progress = frac
+	}
+}
+
+// Stats are the manager's counters, exported as sgfd_jobs_* metrics and in
+// the /healthz jobs section.
+type Stats struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Retained  int   `json:"retained"`
+	Launched  int64 `json:"launched"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Manager tracks jobs: admission (bounded unfinished jobs), execution
+// (bounded concurrency via run slots), cancellation, and retention of
+// finished jobs (LRU by finish time, so recent results stay pollable).
+type Manager struct {
+	maxPending int
+	retain     int
+	runSem     chan struct{}
+
+	launched, completed, failed, cancelled atomic.Int64
+
+	mu         sync.Mutex
+	byID       map[string]*Job
+	order      *list.List // all tracked jobs, front = newest created
+	unfinished int
+	finished   []*Job // finish order, oldest first, for retention eviction
+}
+
+// NewManager returns a manager running at most maxRunning jobs at once
+// (<= 0 means 1), admitting at most maxPending unfinished jobs (<= 0 means
+// 8) and retaining at most retain finished jobs (<= 0 means 16).
+func NewManager(maxRunning, maxPending, retain int) *Manager {
+	if maxRunning <= 0 {
+		maxRunning = 1
+	}
+	if maxPending <= 0 {
+		maxPending = 8
+	}
+	if retain <= 0 {
+		retain = 16
+	}
+	return &Manager{
+		maxPending: maxPending,
+		retain:     retain,
+		runSem:     make(chan struct{}, maxRunning),
+		byID:       make(map[string]*Job),
+		order:      list.New(),
+	}
+}
+
+// Launch admits a job and starts it in the background. It returns
+// ErrTooManyJobs when the unfinished-job limit is reached.
+func (m *Manager) Launch(label string, fn Fn) (*Job, error) {
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:      id,
+		Label:   label,
+		Created: time.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+	}
+	m.mu.Lock()
+	if m.unfinished >= m.maxPending {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrTooManyJobs
+	}
+	j.elem = m.order.PushFront(j)
+	m.byID[id] = j
+	m.unfinished++
+	m.mu.Unlock()
+	m.launched.Add(1)
+
+	go m.run(ctx, j, fn)
+	return j, nil
+}
+
+// run waits for a slot, executes fn and publishes the outcome.
+func (m *Manager) run(ctx context.Context, j *Job, fn Fn) {
+	select {
+	case m.runSem <- struct{}{}:
+	case <-ctx.Done():
+		// Cancelled while queued: never held a slot.
+		m.finish(j, nil, fmt.Errorf("cancelled while queued: %w", ctx.Err()))
+		return
+	}
+	defer func() { <-m.runSem }()
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	result, err := fn(ctx, j.setProgress)
+	if err == nil && ctx.Err() != nil {
+		// The function raced a cancellation and still returned a value; a
+		// cancelled job must read as cancelled, not quietly succeed.
+		err = ctx.Err()
+	}
+	m.finish(j, result, err)
+}
+
+// finish moves a job to its terminal state and applies retention.
+func (m *Manager) finish(j *Job, result any, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.err = err
+	if err != nil {
+		j.state = StateFailed
+		j.result = nil
+	} else {
+		j.state = StateDone
+		j.result = result
+		j.progress = 1
+		j.stage = "done"
+	}
+	j.mu.Unlock()
+	close(j.done)
+
+	switch {
+	case err == nil:
+		m.completed.Add(1)
+	case errors.Is(err, context.Canceled):
+		m.cancelled.Add(1)
+		m.failed.Add(1)
+	default:
+		m.failed.Add(1)
+	}
+
+	m.mu.Lock()
+	m.unfinished--
+	m.finished = append(m.finished, j)
+	for len(m.finished) > m.retain {
+		old := m.finished[0]
+		m.finished = m.finished[1:]
+		if m.byID[old.ID] == old {
+			delete(m.byID, old.ID)
+			m.order.Remove(old.elem)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Get returns the job for id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	return j, ok
+}
+
+// List returns all tracked jobs, newest first.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, m.order.Len())
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Job))
+	}
+	return out
+}
+
+// Delete cancels an active job or evicts a finished one. For an active job
+// it requests cancellation and returns cancelled=true — the record stays
+// around (transitioning to failed) so clients can observe the outcome. For
+// a finished job it removes the record and returns cancelled=false.
+func (m *Manager) Delete(id string) (cancelled bool, err error) {
+	m.mu.Lock()
+	j, ok := m.byID[id]
+	if !ok {
+		m.mu.Unlock()
+		return false, ErrUnknownJob
+	}
+	j.mu.Lock()
+	finished := j.state.Finished()
+	j.mu.Unlock()
+	if finished {
+		delete(m.byID, id)
+		m.order.Remove(j.elem)
+		for i, f := range m.finished {
+			if f == j {
+				m.finished = append(m.finished[:i], m.finished[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		return false, nil
+	}
+	m.mu.Unlock()
+	j.cancel()
+	return true, nil
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	st := Stats{
+		Launched:  m.launched.Load(),
+		Done:      m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Cancelled: m.cancelled.Load(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		switch el.Value.(*Job).Info().State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		default:
+			st.Retained++
+		}
+	}
+	return st
+}
+
+// newID returns a fresh crypto-random job handle.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: generating id: %w", err)
+	}
+	return "j-" + hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,280 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wait blocks until the job finishes or the test times out.
+func wait(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	j, err := m.Launch("test", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		progress("half", 0.5)
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(j.ID, "j-") {
+		t.Fatalf("malformed job id %q", j.ID)
+	}
+	if _, err := j.Result(); !errors.Is(err, ErrNotFinished) && j.Info().State != StateDone {
+		t.Fatalf("unfinished job returned result (err=%v)", err)
+	}
+	wait(t, j)
+	res, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 42 {
+		t.Fatalf("result %v", res)
+	}
+	info := j.Info()
+	if info.State != StateDone || info.Progress != 1 {
+		t.Fatalf("finished info %+v", info)
+	}
+	st := m.Stats()
+	if st.Launched != 1 || st.Done != 1 || st.Failed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestJobFailureRecordsError(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	boom := errors.New("boom")
+	j, err := m.Launch("test", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	if _, err := j.Result(); !errors.Is(err, boom) {
+		t.Fatalf("result error %v", err)
+	}
+	if info := j.Info(); info.State != StateFailed || info.Error != "boom" {
+		t.Fatalf("failed info %+v", info)
+	}
+}
+
+func TestProgressMonotoneClamped(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	step := make(chan struct{})
+	ack := make(chan struct{})
+	j, err := m.Launch("test", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		for _, report := range []struct {
+			stage string
+			frac  float64
+		}{
+			{"a", 0.6},
+			{"b", 0.3}, // must not regress
+			{"c", 7},   // must clamp to 1
+		} {
+			progress(report.stage, report.frac)
+			step <- struct{}{}
+			<-ack
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(want float64) {
+		t.Helper()
+		<-step
+		if p := j.Info().Progress; p != want {
+			t.Fatalf("progress %v, want %v", p, want)
+		}
+		ack <- struct{}{}
+	}
+	check(0.6) // first report
+	check(0.6) // regression ignored
+	check(1)   // overshoot clamped
+	wait(t, j)
+}
+
+// TestCancelRunningFreesSlot proves the acceptance property: cancelling a
+// running job yields failed-with-cancellation and releases the run slot so
+// the next job proceeds.
+func TestCancelRunningFreesSlot(t *testing.T) {
+	m := NewManager(1, 8, 16) // one slot: the second job must wait
+	started := make(chan struct{})
+	blocker, err := m.Launch("blocker", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	follower, err := m.Launch("follower", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		return "ran", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := follower.Info().State; st != StateQueued {
+		t.Fatalf("follower state %s before cancel", st)
+	}
+
+	cancelled, err := m.Delete(blocker.ID)
+	if err != nil || !cancelled {
+		t.Fatalf("Delete(running) = (%v, %v)", cancelled, err)
+	}
+	wait(t, blocker)
+	info := blocker.Info()
+	if info.State != StateFailed || !strings.Contains(info.Error, "context canceled") {
+		t.Fatalf("cancelled job info %+v", info)
+	}
+
+	wait(t, follower)
+	if res, err := follower.Result(); err != nil || res != "ran" {
+		t.Fatalf("follower result (%v, %v): slot not freed", res, err)
+	}
+	if st := m.Stats(); st.Cancelled != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := m.Launch("blocker", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Launch("queued", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cancelled, err := m.Delete(queued.ID); err != nil || !cancelled {
+		t.Fatalf("Delete(queued) = (%v, %v)", cancelled, err)
+	}
+	wait(t, queued)
+	if info := queued.Info(); info.State != StateFailed || !strings.Contains(info.Error, "queued") {
+		t.Fatalf("queued-cancel info %+v", info)
+	}
+	close(release)
+}
+
+func TestPendingLimit(t *testing.T) {
+	m := NewManager(1, 2, 16)
+	release := make(chan struct{})
+	fn := func(ctx context.Context, progress ProgressFunc) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	a, err := m.Launch("a", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Launch("b", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Launch("c", fn); !errors.Is(err, ErrTooManyJobs) {
+		t.Fatalf("third launch err %v", err)
+	}
+	close(release)
+	wait(t, a)
+	wait(t, b)
+	// Capacity is back after the backlog drains.
+	c, err := m.Launch("c", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, c)
+}
+
+func TestRetentionEvictsOldestFinished(t *testing.T) {
+	m := NewManager(1, 8, 2)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := m.Launch("n", func(ctx context.Context, progress ProgressFunc) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait(t, j)
+		ids = append(ids, j.ID)
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Fatal("oldest finished job survived retention")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := m.Get(id); !ok {
+			t.Fatalf("job %s evicted too early", id)
+		}
+	}
+	if st := m.Stats(); st.Retained != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDeleteEvictsFinished(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	j, err := m.Launch("n", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	if cancelled, err := m.Delete(j.ID); err != nil || cancelled {
+		t.Fatalf("Delete(finished) = (%v, %v)", cancelled, err)
+	}
+	if _, ok := m.Get(j.ID); ok {
+		t.Fatal("finished job still tracked after delete")
+	}
+	if _, err := m.Delete(j.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("double delete err %v", err)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	m := NewManager(2, 8, 16)
+	var want []string
+	for i := 0; i < 3; i++ {
+		j, err := m.Launch("n", func(ctx context.Context, progress ProgressFunc) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait(t, j)
+		want = append([]string{j.ID}, want...)
+	}
+	got := m.List()
+	if len(got) != 3 {
+		t.Fatalf("listed %d jobs", len(got))
+	}
+	for i, j := range got {
+		if j.ID != want[i] {
+			t.Fatalf("list order %d: got %s want %s", i, j.ID, want[i])
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/buildinfo"
+	"repro/internal/eval"
+	"repro/internal/jobs"
+)
+
+// This file implements the async evaluation-job endpoints:
+//
+//	POST   /v1/eval             launch a §6 pipeline run (body: eval.SuiteConfig)
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        status + progress
+//	GET    /v1/jobs/{id}/result tables and figure series as JSON
+//	DELETE /v1/jobs/{id}        cancel a running job / evict a finished one
+//
+// A job runs eval.RunSuite — the exact code path cmd/experiments uses — on
+// worker-pool tokens shared with the synthesize handlers, so evaluation
+// load and serving load are bounded together. Results are retained under
+// the jobs LRU until polled or evicted.
+
+// Per-request evaluation ceilings, mirroring the synthesize ceilings: one
+// job may not commit the server to an unbounded pipeline build.
+const (
+	defaultEvalMaxN     = 200_000
+	maxEvalReps         = 20
+	maxEvalSynthPer     = 100_000
+	maxEvalSectionUnits = 1_000_000 // per-section workload knobs (probes, candidates, samples)
+)
+
+// evalAccepted answers POST /v1/eval and DELETE of an active job.
+type evalAccepted struct {
+	Job     jobs.Info `json:"job"`
+	Version string    `json:"version"`
+}
+
+// jobsListResponse answers GET /v1/jobs.
+type jobsListResponse struct {
+	Version string      `json:"version"`
+	Jobs    []jobs.Info `json:"jobs"`
+	Stats   jobs.Stats  `json:"stats"`
+}
+
+// jobResultResponse answers GET /v1/jobs/{id}/result. Version ties the
+// exported numbers to the build (and with it the commit) that produced
+// them.
+type jobResultResponse struct {
+	Job     jobs.Info         `json:"job"`
+	Version string            `json:"version"`
+	Result  *eval.SuiteResult `json:"result"`
+}
+
+// handleEvalLaunch implements POST /v1/eval: validate the suite config and
+// admit it as a background job.
+func (s *Server) handleEvalLaunch(w http.ResponseWriter, r *http.Request) {
+	var cfg eval.SuiteConfig
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// A silently ignored typo ("model_epsilon") would evaluate a different
+	// privacy configuration than the client asked for.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	maxN := s.cfg.EvalMaxN
+	if maxN <= 0 {
+		maxN = defaultEvalMaxN
+	}
+	if cfg.N > maxN {
+		writeError(w, http.StatusBadRequest, "n must be at most %d, got %d", maxN, cfg.N)
+		return
+	}
+	if cfg.Reps > maxEvalReps {
+		writeError(w, http.StatusBadRequest, "reps must be at most %d, got %d", maxEvalReps, cfg.Reps)
+		return
+	}
+	if cfg.SynthPerVariant < 0 || cfg.SynthPerVariant > maxEvalSynthPer {
+		writeError(w, http.StatusBadRequest, "synth_per_variant must be in [0, %d], got %d", maxEvalSynthPer, cfg.SynthPerVariant)
+		return
+	}
+	for name, v := range map[string]int{
+		"fig12_probes":        cfg.Fig12Probes,
+		"fig6_candidates":     cfg.Fig6Candidates,
+		"table5_train":        cfg.Table5Train,
+		"table5_test":         cfg.Table5Test,
+		"attack_candidates":   cfg.AttackCandidates,
+		"ablation_candidates": cfg.AblationCandidates,
+		"ablation_samples":    cfg.AblationSamples,
+	} {
+		if v < 0 || v > maxEvalSectionUnits {
+			writeError(w, http.StatusBadRequest, "%s must be in [0, %d], got %d", name, maxEvalSectionUnits, v)
+			return
+		}
+	}
+	for name, list := range map[string][]int{"fig5_counts": cfg.Fig5Counts, "fig6_ks": cfg.Fig6Ks} {
+		for _, v := range list {
+			if v < 1 || v > maxEvalSectionUnits {
+				writeError(w, http.StatusBadRequest, "%s entries must be in [1, %d], got %d", name, maxEvalSectionUnits, v)
+				return
+			}
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	want := cfg.Workers
+	job, err := s.jobs.Launch("eval", func(ctx context.Context, progress jobs.ProgressFunc) (any, error) {
+		// Evaluation shares the synthesize worker pool: the job blocks here
+		// (cancellably) until tokens are free, then sizes its generation
+		// parallelism to the grant. The grant affects wall-clock only, never
+		// the result — core generation is worker-count independent.
+		progress("waiting for workers", 0)
+		granted, release, err := s.pool.Acquire(ctx, want)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		run := cfg
+		run.Workers = granted
+		return eval.RunSuite(ctx, run, eval.ProgressFunc(progress))
+	})
+	if errors.Is(err, jobs.ErrTooManyJobs) {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "launching job: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, evalAccepted{Job: job.Info(), Version: buildinfo.Version})
+}
+
+// handleListJobs implements GET /v1/jobs.
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	list := s.jobs.List()
+	resp := jobsListResponse{
+		Version: buildinfo.Version,
+		Jobs:    make([]jobs.Info, 0, len(list)),
+		Stats:   s.jobs.Stats(),
+	}
+	for _, j := range list {
+		resp.Jobs = append(resp.Jobs, j.Info())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobStatus implements GET /v1/jobs/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, _ *http.Request, id string) {
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleJobResult implements GET /v1/jobs/{id}/result: the full §6 report
+// as JSON once the job is done; 409 while it is still queued/running or
+// after it failed (the failure is in the status, not the result).
+func (s *Server) handleJobResult(w http.ResponseWriter, _ *http.Request, id string) {
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	res, err := job.Result()
+	if errors.Is(err, jobs.ErrNotFinished) {
+		writeError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s", id, job.Info().State, id)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, "job %s failed: %v", id, err)
+		return
+	}
+	suite, ok := res.(*eval.SuiteResult)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "job %s holds an unexpected result type", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResultResponse{Job: job.Info(), Version: buildinfo.Version, Result: suite})
+}
+
+// handleJobDelete implements DELETE /v1/jobs/{id}: cancellation for active
+// jobs (202 — the job transitions to failed and stays pollable), eviction
+// for finished ones (204).
+func (s *Server) handleJobDelete(w http.ResponseWriter, _ *http.Request, id string) {
+	cancelled, err := s.jobs.Delete(id)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "deleting job %s: %v", id, err)
+	case cancelled:
+		job, ok := s.jobs.Get(id)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, evalAccepted{Job: job.Info(), Version: buildinfo.Version})
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}

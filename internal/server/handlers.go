@@ -14,6 +14,7 @@ import (
 
 	sgf "repro"
 	"repro/internal/acs"
+	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/rng"
 )
@@ -478,16 +479,18 @@ func (e *recordEncoder) append(buf *bytes.Buffer, rec dataset.Record) {
 
 // handleHealthz implements GET /healthz. The store section reports the
 // loaded-model count, the snapshot footprint on disk, and the most recent
-// load/flush errors, so an operator can tell at a glance whether
-// persistence is keeping up.
+// load/flush errors; the jobs section reports the evaluation-job queue; the
+// version ties the process to the commit that built it.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":           "ok",
+		"version":          buildinfo.Version,
 		"models":           s.reg.Len(),
 		"workers":          s.pool.Size(),
 		"workers_in_use":   s.pool.InUse(),
 		"records_released": s.metrics.RecordsReleased(),
 		"store":            s.storeStatus(),
+		"jobs":             s.jobs.Stats(),
 	})
 }
 
@@ -495,6 +498,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w)
+	writeJobsMetrics(w, s.jobs.Stats())
 	if s.store != nil {
 		s.store.WriteMetrics(w)
 	}

@@ -14,7 +14,14 @@
 //	GET    /v1/models/{id}/export      download the model's binary snapshot
 //	POST   /v1/models/import           upload a snapshot exported elsewhere
 //	DELETE /v1/models/{id}             drop a model and its snapshot
-//	GET    /healthz                    liveness + store status
+//	POST   /v1/eval                    launch a §6 evaluation run as an
+//	                                   async job; returns a job ID
+//	GET    /v1/jobs                    list evaluation jobs
+//	GET    /v1/jobs/{id}               job status + progress
+//	GET    /v1/jobs/{id}/result        tables/figure series of a done job
+//	DELETE /v1/jobs/{id}               cancel a running job / evict a
+//	                                   finished one
+//	GET    /healthz                    liveness + store/jobs status
 //	GET    /metrics                    Prometheus counters
 //
 // Three pieces make the service safe under load. The model Registry is an
@@ -40,6 +47,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/jobs"
 	"repro/internal/store"
 )
 
@@ -65,6 +73,20 @@ type Config struct {
 	// StoreMaxBytes caps the total snapshot bytes kept in StoreDir
 	// (0 = unlimited); past it the oldest snapshots are evicted from disk.
 	StoreMaxBytes int64
+	// EvalMaxRunning bounds how many evaluation jobs execute at once
+	// (0 = 1). Queued jobs wait their turn; each running job additionally
+	// draws its generation parallelism from the shared worker pool.
+	EvalMaxRunning int
+	// EvalMaxPending bounds how many unfinished evaluation jobs may exist
+	// before new launches are rejected with 429 (0 = 8).
+	EvalMaxPending int
+	// EvalRetain bounds how many finished evaluation jobs (and their
+	// results) are kept for polling; the oldest are evicted first (0 = 16).
+	EvalRetain int
+	// EvalMaxN caps the simulated-record count a single evaluation job may
+	// request (0 = 200000) — one request may not commit the server to an
+	// unbounded pipeline build.
+	EvalMaxN int
 	// Log receives one line per request; nil disables logging.
 	Log *log.Logger
 }
@@ -77,6 +99,7 @@ type Server struct {
 	reg     *Registry
 	metrics *Metrics
 	store   *store.Store // nil without StoreDir
+	jobs    *jobs.Manager
 }
 
 // New returns a ready-to-serve Server. With Config.StoreDir set it opens
@@ -102,6 +125,7 @@ func New(cfg Config) (*Server, error) {
 		reg:     NewRegistry(cfg.CacheCap, cfg.MaxConcurrentFits, cfg.MaxPendingFits, metrics, st),
 		metrics: metrics,
 		store:   st,
+		jobs:    jobs.NewManager(cfg.EvalMaxRunning, cfg.EvalMaxPending, cfg.EvalRetain),
 	}
 	if st != nil {
 		if n := s.reg.WarmStart(); n > 0 && cfg.Log != nil {
@@ -203,6 +227,47 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		}
 		s.handleImport(w, r)
 		return "import"
+	case path == "/v1/eval":
+		if !requireMethod(w, r, http.MethodPost) {
+			return "eval"
+		}
+		s.handleEvalLaunch(w, r)
+		return "eval"
+	case path == "/v1/jobs":
+		if !requireMethod(w, r, http.MethodGet) {
+			return "jobs"
+		}
+		s.handleListJobs(w, r)
+		return "jobs"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		rest := strings.TrimPrefix(path, "/v1/jobs/")
+		if id, ok := strings.CutSuffix(rest, "/result"); ok {
+			if !validJobID(id) {
+				writeError(w, http.StatusNotFound, "malformed job id %q", id)
+				return "jobresult"
+			}
+			if !requireMethod(w, r, http.MethodGet) {
+				return "jobresult"
+			}
+			s.handleJobResult(w, r, id)
+			return "jobresult"
+		}
+		if !validJobID(rest) {
+			writeError(w, http.StatusNotFound, "malformed job id %q", rest)
+			return "jobstatus"
+		}
+		switch r.Method {
+		case http.MethodGet:
+			s.handleJobStatus(w, r, rest)
+			return "jobstatus"
+		case http.MethodDelete:
+			s.handleJobDelete(w, r, rest)
+			return "jobdelete"
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			writeError(w, http.StatusMethodNotAllowed, "%s requires GET or DELETE", path)
+			return "jobstatus"
+		}
 	case strings.HasPrefix(path, "/v1/models/"):
 		rest := strings.TrimPrefix(path, "/v1/models/")
 		if id, ok := strings.CutSuffix(rest, "/synthesize"); ok {
@@ -253,6 +318,12 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 // they reach the registry.
 func validModelID(id string) bool {
 	return id != "" && !strings.ContainsAny(id, "/\\") && strings.HasPrefix(id, "m-")
+}
+
+// validJobID rejects ids with path separators or the wrong shape before
+// they reach the job manager.
+func validJobID(id string) bool {
+	return id != "" && !strings.ContainsAny(id, "/\\") && strings.HasPrefix(id, "j-")
 }
 
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
