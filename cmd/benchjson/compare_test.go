@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport serializes a Report to a temp file and returns its path.
+func writeReport(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	raw, err := json.Marshal(Report{Version: "test", Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkPipelineBuild-8", NsPerOp: 1_000_000_000},
+		{Name: "BenchmarkFigure6-8", NsPerOp: 200_000_000},
+	}
+	latest := []Result{
+		{Name: "BenchmarkPipelineBuild-8", NsPerOp: 1_200_000_000}, // +20%
+		{Name: "BenchmarkFigure6-8", NsPerOp: 210_000_000},         // +5%
+	}
+	c := Compare(baseline, latest, 50e6, false)
+	regs := c.Regressions(15)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkPipelineBuild" {
+		t.Fatalf("Regressions(15) = %+v, want just BenchmarkPipelineBuild", regs)
+	}
+	if regs[0].Pct < 19.9 || regs[0].Pct > 20.1 {
+		t.Fatalf("regression pct = %v, want ~20", regs[0].Pct)
+	}
+	// A laxer threshold lets it pass.
+	if regs := c.Regressions(25); len(regs) != 0 {
+		t.Fatalf("Regressions(25) = %+v, want none", regs)
+	}
+}
+
+func TestCompareMatchesAcrossProcSuffixes(t *testing.T) {
+	// Baseline from an 8-core runner, fresh run from a 4-core runner: the
+	// same benchmark must match, and a regression must still gate.
+	baseline := []Result{{Name: "BenchmarkX-8", NsPerOp: 100_000_000}}
+	latest := []Result{{Name: "BenchmarkX-4", NsPerOp: 130_000_000}}
+	c := Compare(baseline, latest, 50e6, false)
+	if len(c.Deltas) != 1 || len(c.MissingInLatest) != 0 || len(c.NewInLatest) != 0 {
+		t.Fatalf("cross-suffix comparison %+v", c)
+	}
+	if regs := c.Regressions(15); len(regs) != 1 {
+		t.Fatalf("Regressions = %+v, want one", regs)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// Both sides under the floor: a 3x slowdown of a 1ms benchmark is
+	// noise, not a regression.
+	baseline := []Result{{Name: "BenchmarkTiny-8", NsPerOp: 1_000_000}}
+	latest := []Result{{Name: "BenchmarkTiny-8", NsPerOp: 3_000_000}}
+	c := Compare(baseline, latest, 50e6, false)
+	if regs := c.Regressions(15); len(regs) != 0 {
+		t.Fatalf("sub-floor regression gated: %+v", regs)
+	}
+	if len(c.Deltas) != 1 || c.Deltas[0].Gating {
+		t.Fatalf("delta %+v, want non-gating", c.Deltas)
+	}
+	// One side over the floor gates: a benchmark that grew past it is
+	// exactly the kind of regression the floor must not hide.
+	latest[0].NsPerOp = 60_000_000
+	if regs := Compare(baseline, latest, 50e6, false).Regressions(15); len(regs) != 1 {
+		t.Fatalf("cross-floor regression not gated: %+v", regs)
+	}
+}
+
+func TestCompareTracksMissingAndNew(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkKept-8", NsPerOp: 100_000_000},
+		{Name: "BenchmarkGone-8", NsPerOp: 100_000_000},
+	}
+	latest := []Result{
+		{Name: "BenchmarkKept-8", NsPerOp: 100_000_000},
+		{Name: "BenchmarkAdded-8", NsPerOp: 100_000_000},
+	}
+	c := Compare(baseline, latest, 50e6, false)
+	if len(c.MissingInLatest) != 1 || c.MissingInLatest[0] != "BenchmarkGone" {
+		t.Fatalf("MissingInLatest = %v", c.MissingInLatest)
+	}
+	if len(c.NewInLatest) != 1 || c.NewInLatest[0] != "BenchmarkAdded" {
+		t.Fatalf("NewInLatest = %v", c.NewInLatest)
+	}
+}
+
+// TestCompareMinOfN pins the -count=N handling: repeated entries for one
+// benchmark collapse to the minimum ns/op on both sides, so one
+// contention-spiked iteration cannot fake (or mask) a regression.
+func TestCompareMinOfN(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkX-8", NsPerOp: 110_000_000},
+		{Name: "BenchmarkX-8", NsPerOp: 100_000_000},
+		{Name: "BenchmarkX-8", NsPerOp: 300_000_000}, // baseline spike: ignored
+	}
+	latest := []Result{
+		{Name: "BenchmarkX-8", NsPerOp: 250_000_000}, // load spike
+		{Name: "BenchmarkX-8", NsPerOp: 103_000_000},
+		{Name: "BenchmarkX-8", NsPerOp: 104_000_000},
+	}
+	c := Compare(baseline, latest, 50e6, false)
+	if len(c.Deltas) != 1 {
+		t.Fatalf("deltas %+v, want one collapsed entry", c.Deltas)
+	}
+	d := c.Deltas[0]
+	if d.OldNs != 100_000_000 || d.NewNs != 103_000_000 {
+		t.Fatalf("min-of-N picked %v -> %v, want 1e8 -> 1.03e8", d.OldNs, d.NewNs)
+	}
+	if regs := c.Regressions(15); len(regs) != 0 {
+		t.Fatalf("spiked iteration gated: %+v", regs)
+	}
+
+	// A real regression survives the min: every fresh iteration is slow.
+	allSlow := []Result{
+		{Name: "BenchmarkX-8", NsPerOp: 130_000_000},
+		{Name: "BenchmarkX-8", NsPerOp: 131_000_000},
+	}
+	if regs := Compare(baseline, allSlow, 50e6, false).Regressions(15); len(regs) != 1 {
+		t.Fatalf("uniform slowdown not gated: %+v", regs)
+	}
+}
+
+// TestCompareNormalization pins the self-calibrating gate: a run that is
+// uniformly slower than the baseline machine passes, while one benchmark
+// regressing against an otherwise-uniform shift is caught.
+func TestCompareNormalization(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100_000_000},
+		{Name: "BenchmarkB-8", NsPerOp: 200_000_000},
+		{Name: "BenchmarkC-8", NsPerOp: 400_000_000},
+		{Name: "BenchmarkD-8", NsPerOp: 800_000_000},
+	}
+	// CI runner 30% slower across the board: raw +30% everywhere, but no
+	// benchmark deviates from the median, so nothing gates.
+	uniform := make([]Result, len(baseline))
+	for i, r := range baseline {
+		uniform[i] = Result{Name: r.Name, NsPerOp: r.NsPerOp * 1.3}
+	}
+	c := Compare(baseline, uniform, 50e6, true)
+	if regs := c.Regressions(15); len(regs) != 0 {
+		t.Fatalf("uniform slowdown gated: %+v", regs)
+	}
+	if c.MedianRatio < 1.29 || c.MedianRatio > 1.31 {
+		t.Fatalf("MedianRatio = %v, want ~1.3", c.MedianRatio)
+	}
+	// Without normalization the same run fails — absolute mode still works.
+	if regs := Compare(baseline, uniform, 50e6, false).Regressions(15); len(regs) != 4 {
+		t.Fatalf("absolute mode gated %d of 4", len(regs))
+	}
+
+	// Same uniform shift plus one real regression: only it gates.
+	mixed := make([]Result, len(uniform))
+	copy(mixed, uniform)
+	mixed[2].NsPerOp = baseline[2].NsPerOp * 1.3 * 1.5 // BenchmarkC +50% on top
+	c = Compare(baseline, mixed, 50e6, true)
+	regs := c.Regressions(15)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkC" {
+		t.Fatalf("Regressions = %+v, want just BenchmarkC", regs)
+	}
+	if regs[0].GatePct < 45 || regs[0].GatePct > 55 {
+		t.Fatalf("normalized gate pct = %v, want ~50", regs[0].GatePct)
+	}
+
+	// Too few benchmarks to estimate a median: raw ratios gate directly.
+	c = Compare(baseline[:2], uniform[:2], 50e6, true)
+	if c.MedianRatio != 1 {
+		t.Fatalf("MedianRatio with 2 benchmarks = %v, want 1 (no estimate)", c.MedianRatio)
+	}
+	if regs := c.Regressions(15); len(regs) != 2 {
+		t.Fatalf("small-run raw gating caught %d of 2", len(regs))
+	}
+}
+
+// TestRunCompareExitCodes drives the subcommand end to end: a simulated
+// >15% regression exits non-zero, the same data under a higher threshold
+// passes, and a vanished benchmark fails the gate.
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "baseline.json", []Result{
+		{Name: "BenchmarkPipelineBuild-8", NsPerOp: 1_000_000_000},
+		{Name: "BenchmarkAttack-8", NsPerOp: 500_000_000},
+	})
+	regressed := writeReport(t, dir, "regressed.json", []Result{
+		{Name: "BenchmarkPipelineBuild-8", NsPerOp: 1_400_000_000}, // +40%
+		{Name: "BenchmarkAttack-8", NsPerOp: 505_000_000},
+	})
+	healthy := writeReport(t, dir, "healthy.json", []Result{
+		{Name: "BenchmarkPipelineBuild-8", NsPerOp: 1_050_000_000},
+		{Name: "BenchmarkAttack-8", NsPerOp: 490_000_000},
+	})
+	shrunk := writeReport(t, dir, "shrunk.json", []Result{
+		{Name: "BenchmarkPipelineBuild-8", NsPerOp: 1_000_000_000},
+	})
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare([]string{base, regressed}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed run exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "BenchmarkPipelineBuild") {
+		t.Fatalf("regression report does not name the benchmark: %s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := runCompare([]string{"-threshold", "50", base, regressed}, &stdout, &stderr); code != 0 {
+		t.Fatalf("lax-threshold run exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := runCompare([]string{base, healthy}, &stdout, &stderr); code != 0 {
+		t.Fatalf("healthy run exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "within") {
+		t.Fatalf("healthy run summary missing: %s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := runCompare([]string{base, shrunk}, &stdout, &stderr); code != 1 {
+		t.Fatalf("shrunk run exit = %d, want 1 (a vanished benchmark must not pass silently)", code)
+	}
+
+	// Usage / IO errors exit 2, distinguishable from a regression.
+	if code := runCompare([]string{base}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing-arg exit = %d, want 2", code)
+	}
+	if code := runCompare([]string{base, filepath.Join(dir, "nope.json")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+}

@@ -6,10 +6,12 @@
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -run='^$' . | benchjson -o BENCH_1.json
+//	benchjson compare [-threshold 15] [-min-ms 10] bench/baseline.json BENCH_1.json
 //
 // Lines that are not benchmark results (logs, PASS/ok trailers) are
 // ignored; a FAIL line makes the tool exit non-zero so a broken benchmark
-// fails the CI job even through a pipe.
+// fails the CI job even through a pipe. The compare subcommand is the CI
+// regression gate — see compare.go.
 package main
 
 import (
@@ -108,6 +110,9 @@ func parseLine(line string) (Result, bool) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 

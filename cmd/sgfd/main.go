@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		evalPending = flag.Int("eval-pending", 8, "maximum unfinished evaluation jobs before /v1/eval returns 429")
 		evalRetain  = flag.Int("eval-retain", 16, "finished evaluation jobs kept for result polling (oldest evicted)")
 		evalMaxN    = flag.Int("eval-max-n", 200_000, "largest simulated-record count one evaluation job may request")
+		keysFile    = flag.String("keys-file", "", "tenant key file (JSON): enables API-key authentication, roles and per-tenant rate limits on /v1/*; SIGHUP reloads it (empty = no authentication)")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -47,6 +49,29 @@ func main() {
 	if *quiet {
 		reqLog = nil
 	}
+
+	var auth *tenant.Registry
+	if *keysFile != "" {
+		var err error
+		if auth, err = tenant.Load(*keysFile); err != nil {
+			logger.Fatalf("loading tenant keys: %v", err)
+		}
+		logger.Printf("authentication enabled: %d tenant(s) from %s (SIGHUP reloads)", auth.Len(), *keysFile)
+		// Hot reload: key rotation must not need a restart (a restart drops
+		// every in-flight stream and, without a store, every fitted model).
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := auth.Reload(); err != nil {
+					logger.Printf("SIGHUP: reloading tenant keys: %v (previous set stays active)", err)
+				} else {
+					logger.Printf("SIGHUP: reloaded tenant keys: %d tenant(s)", auth.Len())
+				}
+			}
+		}()
+	}
+
 	srv, err := server.New(server.Config{
 		PoolSize:       *workers,
 		CacheCap:       *cacheCap,
@@ -57,6 +82,7 @@ func main() {
 		EvalMaxPending: *evalPending,
 		EvalRetain:     *evalRetain,
 		EvalMaxN:       *evalMaxN,
+		Auth:           auth,
 		Log:            reqLog,
 	})
 	if err != nil {

@@ -60,13 +60,17 @@ var (
 	ErrNotFinished = errors.New("jobs: job has not finished")
 )
 
-// Job is one tracked unit of work. ID, Label and Created are immutable;
-// everything else is guarded by mu.
+// Job is one tracked unit of work. ID, Label, Owner and Created are
+// immutable; everything else is guarded by mu.
 type Job struct {
 	// ID is the public handle ("j-" + 16 hex digits, crypto-random).
 	ID string
 	// Label names the workload for listings (e.g. "eval").
 	Label string
+	// Owner names the tenant that launched the job ("" when the server runs
+	// without authentication). The HTTP layer scopes listings and results
+	// to it.
+	Owner string
 	// Created is the admission time.
 	Created time.Time
 
@@ -90,6 +94,7 @@ type Job struct {
 type Info struct {
 	ID       string    `json:"id"`
 	Label    string    `json:"label,omitempty"`
+	Owner    string    `json:"owner,omitempty"`
 	State    State     `json:"state"`
 	Stage    string    `json:"stage,omitempty"`
 	Progress float64   `json:"progress"`
@@ -107,6 +112,7 @@ func (j *Job) Info() Info {
 	info := Info{
 		ID:       j.ID,
 		Label:    j.Label,
+		Owner:    j.Owner,
 		State:    j.state,
 		Stage:    j.stage,
 		Progress: j.progress,
@@ -206,9 +212,16 @@ func NewManager(maxRunning, maxPending, retain int) *Manager {
 	}
 }
 
-// Launch admits a job and starts it in the background. It returns
-// ErrTooManyJobs when the unfinished-job limit is reached.
+// Launch admits an ownerless job and starts it in the background. It
+// returns ErrTooManyJobs when the unfinished-job limit is reached.
 func (m *Manager) Launch(label string, fn Fn) (*Job, error) {
+	return m.LaunchOwned(label, "", fn)
+}
+
+// LaunchOwned admits a job on behalf of the named owner (tenant) and starts
+// it in the background. It returns ErrTooManyJobs when the unfinished-job
+// limit is reached.
+func (m *Manager) LaunchOwned(label, owner string, fn Fn) (*Job, error) {
 	id, err := newID()
 	if err != nil {
 		return nil, err
@@ -217,6 +230,7 @@ func (m *Manager) Launch(label string, fn Fn) (*Job, error) {
 	j := &Job{
 		ID:      id,
 		Label:   label,
+		Owner:   owner,
 		Created: time.Now(),
 		cancel:  cancel,
 		done:    make(chan struct{}),
@@ -292,7 +306,13 @@ func (m *Manager) finish(j *Job, result any, err error) {
 
 	m.mu.Lock()
 	m.unfinished--
-	m.finished = append(m.finished, j)
+	// A Delete can evict the job between the state transition above and
+	// this registration (it sees the terminal state the moment j.mu is
+	// released). Re-appending an evicted job would leave an unreachable
+	// ghost occupying a retention slot — honour the eviction instead.
+	if m.byID[j.ID] == j {
+		m.finished = append(m.finished, j)
+	}
 	for len(m.finished) > m.retain {
 		old := m.finished[0]
 		m.finished = m.finished[1:]
@@ -323,21 +343,30 @@ func (m *Manager) List() []*Job {
 	return out
 }
 
-// Delete cancels an active job or evicts a finished one. For an active job
-// it requests cancellation and returns cancelled=true — the record stays
+// Delete cancels an active job or evicts a finished one, returning the job
+// either way so callers can report its final state. For an active job it
+// requests cancellation and returns cancelled=true — the record stays
 // around (transitioning to failed) so clients can observe the outcome. For
 // a finished job it removes the record and returns cancelled=false.
-func (m *Manager) Delete(id string) (cancelled bool, err error) {
+//
+// The decision is made with the job lock held, so a job that finishes
+// concurrently with the Delete cannot slip between the state check and the
+// cancellation: once a job is observably finished, Delete always takes the
+// evict path (deleting it actually deletes it) instead of issuing a no-op
+// cancel and leaving the record retained.
+func (m *Manager) Delete(id string) (j *Job, cancelled bool, err error) {
 	m.mu.Lock()
 	j, ok := m.byID[id]
 	if !ok {
 		m.mu.Unlock()
-		return false, ErrUnknownJob
+		return nil, false, ErrUnknownJob
 	}
+	// Lock order: m.mu then j.mu. finish() takes j.mu and m.mu strictly in
+	// sequence (never nested), so this cannot deadlock — it can only make
+	// finish wait, which is exactly the point.
 	j.mu.Lock()
-	finished := j.state.Finished()
-	j.mu.Unlock()
-	if finished {
+	if j.state.Finished() {
+		j.mu.Unlock()
 		delete(m.byID, id)
 		m.order.Remove(j.elem)
 		for i, f := range m.finished {
@@ -347,11 +376,34 @@ func (m *Manager) Delete(id string) (cancelled bool, err error) {
 			}
 		}
 		m.mu.Unlock()
-		return false, nil
+		return j, false, nil
 	}
-	m.mu.Unlock()
+	// Still active: deliver the cancellation before the job can transition
+	// to a terminal state (finish() needs j.mu to do that).
 	j.cancel()
-	return true, nil
+	j.mu.Unlock()
+	m.mu.Unlock()
+	return j, true, nil
+}
+
+// UnfinishedFor counts the owner's queued or running jobs — the basis for
+// per-tenant concurrent-job quotas.
+func (m *Manager) UnfinishedFor(owner string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		j := el.Value.(*Job)
+		if j.Owner != owner {
+			continue
+		}
+		j.mu.Lock()
+		if !j.state.Finished() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
 }
 
 // Stats snapshots the manager's counters.

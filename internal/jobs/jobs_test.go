@@ -130,9 +130,9 @@ func TestCancelRunningFreesSlot(t *testing.T) {
 		t.Fatalf("follower state %s before cancel", st)
 	}
 
-	cancelled, err := m.Delete(blocker.ID)
-	if err != nil || !cancelled {
-		t.Fatalf("Delete(running) = (%v, %v)", cancelled, err)
+	deleted, cancelled, err := m.Delete(blocker.ID)
+	if err != nil || !cancelled || deleted != blocker {
+		t.Fatalf("Delete(running) = (%v, %v, %v)", deleted, cancelled, err)
 	}
 	wait(t, blocker)
 	info := blocker.Info()
@@ -167,7 +167,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cancelled, err := m.Delete(queued.ID); err != nil || !cancelled {
+	if _, cancelled, err := m.Delete(queued.ID); err != nil || !cancelled {
 		t.Fatalf("Delete(queued) = (%v, %v)", cancelled, err)
 	}
 	wait(t, queued)
@@ -244,14 +244,128 @@ func TestDeleteEvictsFinished(t *testing.T) {
 		t.Fatal(err)
 	}
 	wait(t, j)
-	if cancelled, err := m.Delete(j.ID); err != nil || cancelled {
-		t.Fatalf("Delete(finished) = (%v, %v)", cancelled, err)
+	deleted, cancelled, err := m.Delete(j.ID)
+	if err != nil || cancelled || deleted != j {
+		t.Fatalf("Delete(finished) = (%v, %v, %v)", deleted, cancelled, err)
 	}
 	if _, ok := m.Get(j.ID); ok {
 		t.Fatal("finished job still tracked after delete")
 	}
-	if _, err := m.Delete(j.ID); !errors.Is(err, ErrUnknownJob) {
+	if _, _, err := m.Delete(j.ID); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("double delete err %v", err)
+	}
+}
+
+// TestDeleteNeverRacesCancelOnFinished hammers the finish/Delete race: a
+// Delete that observes a finished job must always take the evict path
+// (cancelled=false, record gone), never issue a stale cancel that leaves
+// the record retained. Before Delete made its decision atomically under the
+// job lock, a job finishing between the state check and the cancel produced
+// exactly that: a "cancelled" reply for a job that stayed tracked.
+func TestDeleteNeverRacesCancelOnFinished(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		m := NewManager(1, 8, 16)
+		j, err := m.Launch("racer", func(ctx context.Context, progress ProgressFunc) (any, error) {
+			return "ok", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Race the delete against the job's natural completion.
+		deleted, cancelled, err := m.Delete(j.ID)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if deleted != j {
+			t.Fatalf("iteration %d: Delete returned a different job", i)
+		}
+		if !cancelled {
+			// Evict path: the record must actually be gone — including from
+			// the retention list, where a finish() racing the eviction once
+			// re-appended the job as an unreachable ghost.
+			if _, ok := m.Get(j.ID); ok {
+				t.Fatalf("iteration %d: evicted job still tracked", i)
+			}
+			if st := j.Info().State; !st.Finished() {
+				t.Fatalf("iteration %d: evicted job in state %s", i, st)
+			}
+			// Synchronize with the evicted job's finish(): it completes
+			// before the run slot frees (maxRunning=1), so once a follow-up
+			// job has run, the first job's retention append — if it
+			// wrongly happened — is visible.
+			follow, err := m.Launch("follow", func(ctx context.Context, progress ProgressFunc) (any, error) {
+				return nil, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wait(t, follow)
+			m.mu.Lock()
+			for _, f := range m.finished {
+				if f == j {
+					m.mu.Unlock()
+					t.Fatalf("iteration %d: evicted job ghost in retention list", i)
+				}
+			}
+			m.mu.Unlock()
+		} else {
+			// Cancel path: the job must land in a terminal state and stay
+			// pollable until evicted.
+			wait(t, j)
+			if _, ok := m.Get(j.ID); !ok {
+				t.Fatalf("iteration %d: cancelled job not pollable", i)
+			}
+		}
+	}
+}
+
+func TestLaunchOwnedAndUnfinishedFor(t *testing.T) {
+	m := NewManager(1, 8, 16)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	a, err := m.LaunchOwned("eval", "acme", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	b, err := m.LaunchOwned("eval", "acme", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Owner != "acme" || a.Info().Owner != "acme" {
+		t.Fatalf("owner not recorded: %+v", a.Info())
+	}
+	if n := m.UnfinishedFor("acme"); n != 2 {
+		t.Fatalf("UnfinishedFor(acme) = %d, want 2 (one running, one queued)", n)
+	}
+	if n := m.UnfinishedFor("other"); n != 0 {
+		t.Fatalf("UnfinishedFor(other) = %d, want 0", n)
+	}
+	close(release)
+	wait(t, a)
+	wait(t, b)
+	if n := m.UnfinishedFor("acme"); n != 0 {
+		t.Fatalf("UnfinishedFor(acme) after drain = %d, want 0", n)
+	}
+	// Ownerless Launch keeps the empty owner.
+	c, err := m.Launch("eval", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, c)
+	if c.Owner != "" {
+		t.Fatalf("Launch set owner %q", c.Owner)
 	}
 }
 

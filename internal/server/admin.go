@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // This file implements the snapshot-lifecycle admin endpoints:
@@ -75,8 +76,10 @@ func (s *Server) storeStatus() *storeStatusJSON {
 }
 
 // handleListModels implements GET /v1/models: resident entries (most
-// recently used first) followed by snapshots not currently loaded.
-func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+// recently used first) followed by snapshots not currently loaded. With
+// authentication enabled, non-admin tenants see only their own models, and
+// store-only snapshots — whose ownership is not persisted — only admins.
+func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request, tn *tenant.Identity) {
 	entries := s.reg.Entries()
 	resp := listResponse{
 		Models: make([]modelSummary, 0, len(entries)),
@@ -85,6 +88,9 @@ func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
 	resident := make(map[string]bool, len(entries))
 	for _, e := range entries {
 		resident[e.ID] = true
+		if !canSeeModel(tn, e) {
+			continue
+		}
 		state, _ := e.State()
 		created := e.Created
 		ms := modelSummary{
@@ -101,7 +107,7 @@ func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
 		}
 		resp.Models = append(resp.Models, ms)
 	}
-	if s.store != nil {
+	if s.store != nil && (tn == nil || tn.Role() == tenant.RoleAdmin) {
 		for _, id := range s.store.IDs() {
 			if resident[id] {
 				continue
@@ -120,7 +126,14 @@ func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request) {
 // handleExport implements GET /v1/models/{id}/export: the model's snapshot
 // bytes, exactly as persisted when possible, encoded on the fly otherwise
 // (store disabled, or the snapshot was byte-evicted).
-func (s *Server) handleExport(w http.ResponseWriter, _ *http.Request, id string) {
+func (s *Server) handleExport(w http.ResponseWriter, _ *http.Request, id string, tn *tenant.Identity) {
+	// The shared visibility gate, without the loading lookup getModelFor
+	// adds: an admin export of a store-only snapshot should take the raw
+	// fast path below instead of decoding the snapshot into the registry.
+	if !s.modelVisible(id, tn) {
+		writeError(w, http.StatusNotFound, "unknown model %q", id)
+		return
+	}
 	var data []byte
 	if s.store != nil {
 		if raw, err := s.store.ReadRaw(id); err == nil {
@@ -158,8 +171,9 @@ func (s *Server) handleExport(w http.ResponseWriter, _ *http.Request, id string)
 
 // handleImport implements POST /v1/models/import: decode and fully validate
 // an uploaded snapshot (magic, checksum, version, then every model layer),
-// register it as a ready model, and persist it when a store is configured.
-func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+// register it as a ready model — owned by the importing tenant — and
+// persist it when a store is configured.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request, tn *tenant.Identity) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
 	if err != nil {
 		var mbe *http.MaxBytesError
@@ -179,6 +193,9 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	if entry == nil {
 		writeError(w, http.StatusConflict, "model %s is being deleted; retry", snap.ID)
 		return
+	}
+	if tn != nil {
+		entry.AddOwner(tn.Name)
 	}
 	status := http.StatusCreated
 	if !fresh {

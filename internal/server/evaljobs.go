@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/eval"
 	"repro/internal/jobs"
+	"repro/internal/tenant"
 )
 
 // This file implements the async evaluation-job endpoints:
@@ -56,8 +58,9 @@ type jobResultResponse struct {
 }
 
 // handleEvalLaunch implements POST /v1/eval: validate the suite config and
-// admit it as a background job.
-func (s *Server) handleEvalLaunch(w http.ResponseWriter, r *http.Request) {
+// admit it as a background job owned by the launching tenant, subject to
+// the tenant's concurrent-job quota.
+func (s *Server) handleEvalLaunch(w http.ResponseWriter, r *http.Request, tn *tenant.Identity) {
 	var cfg eval.SuiteConfig
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	// A silently ignored typo ("model_epsilon") would evaluate a different
@@ -115,14 +118,34 @@ func (s *Server) handleEvalLaunch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The tenant's concurrent-job quota is checked ahead of the shared
+	// admission bound, so one tenant filling its own budget never eats the
+	// pending slots every tenant shares. (Check-then-launch can admit one
+	// job too many under a racing burst; the shared pending bound still
+	// caps the damage, and the quota reasserts on the next launch.)
+	if tn != nil && tn.MaxJobs() > 0 && s.jobs.UnfinishedFor(tn.Name) >= tn.MaxJobs() {
+		tn.CountThrottle() // the quota lives with the job manager, so count the 429 here
+		setRetryAfter(w, time.Second)
+		writeError(w, http.StatusTooManyRequests, "tenant %s already has %d unfinished evaluation job(s); retry later", tn.Name, tn.MaxJobs())
+		return
+	}
+
+	// Pin the tenant for the job's lifetime: a queued job's future worker
+	// grants must stay attributed in /metrics (and its quota must not be
+	// re-mintable) even if a key-file reload removes the tenant while the
+	// job waits.
+	if tn != nil {
+		tn.Pin()
+	}
 	want := cfg.Workers
-	job, err := s.jobs.Launch("eval", func(ctx context.Context, progress jobs.ProgressFunc) (any, error) {
+	job, err := s.jobs.LaunchOwned("eval", jobOwner(tn), func(ctx context.Context, progress jobs.ProgressFunc) (any, error) {
 		// Evaluation shares the synthesize worker pool: the job blocks here
-		// (cancellably) until tokens are free, then sizes its generation
-		// parallelism to the grant. The grant affects wall-clock only, never
-		// the result — core generation is worker-count independent.
+		// (cancellably) until its tenant's worker quota and then pool
+		// tokens are free, then sizes its generation parallelism to the
+		// grant. The grant affects wall-clock only, never the result —
+		// core generation is worker-count independent.
 		progress("waiting for workers", 0)
-		granted, release, err := s.pool.Acquire(ctx, want)
+		granted, release, err := s.acquireWorkersBlocking(ctx, tn, want)
 		if err != nil {
 			return nil, err
 		}
@@ -131,19 +154,32 @@ func (s *Server) handleEvalLaunch(w http.ResponseWriter, r *http.Request) {
 		run.Workers = granted
 		return eval.RunSuite(ctx, run, eval.ProgressFunc(progress))
 	})
-	if errors.Is(err, jobs.ErrTooManyJobs) {
-		writeError(w, http.StatusTooManyRequests, "%v", err)
-		return
-	}
 	if err != nil {
+		if tn != nil {
+			tn.Unpin() // the job never existed
+		}
+		if errors.Is(err, jobs.ErrTooManyJobs) {
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "launching job: %v", err)
 		return
+	}
+	if tn != nil {
+		// Release the pin when the job reaches a terminal state — whatever
+		// path it takes there (done, failed, cancelled while queued).
+		go func(t *tenant.Identity, j *jobs.Job) {
+			<-j.Done()
+			t.Unpin()
+		}(tn, job)
 	}
 	writeJSON(w, http.StatusAccepted, evalAccepted{Job: job.Info(), Version: buildinfo.Version})
 }
 
-// handleListJobs implements GET /v1/jobs.
-func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+// handleListJobs implements GET /v1/jobs. With authentication enabled,
+// non-admin tenants see only their own jobs (the stats section stays
+// global — it carries no per-job information).
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request, tn *tenant.Identity) {
 	list := s.jobs.List()
 	resp := jobsListResponse{
 		Version: buildinfo.Version,
@@ -151,15 +187,19 @@ func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
 		Stats:   s.jobs.Stats(),
 	}
 	for _, j := range list {
+		if !canSeeJob(tn, j.Owner) {
+			continue
+		}
 		resp.Jobs = append(resp.Jobs, j.Info())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleJobStatus implements GET /v1/jobs/{id}.
-func (s *Server) handleJobStatus(w http.ResponseWriter, _ *http.Request, id string) {
+// handleJobStatus implements GET /v1/jobs/{id}. Another tenant's job reads
+// as 404, indistinguishable from a job that does not exist.
+func (s *Server) handleJobStatus(w http.ResponseWriter, _ *http.Request, id string, tn *tenant.Identity) {
 	job, ok := s.jobs.Get(id)
-	if !ok {
+	if !ok || !canSeeJob(tn, job.Owner) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
@@ -168,10 +208,11 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, _ *http.Request, id stri
 
 // handleJobResult implements GET /v1/jobs/{id}/result: the full §6 report
 // as JSON once the job is done; 409 while it is still queued/running or
-// after it failed (the failure is in the status, not the result).
-func (s *Server) handleJobResult(w http.ResponseWriter, _ *http.Request, id string) {
+// after it failed (the failure is in the status, not the result); 404 for
+// another tenant's job.
+func (s *Server) handleJobResult(w http.ResponseWriter, _ *http.Request, id string, tn *tenant.Identity) {
 	job, ok := s.jobs.Get(id)
-	if !ok {
+	if !ok || !canSeeJob(tn, job.Owner) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
@@ -194,22 +235,20 @@ func (s *Server) handleJobResult(w http.ResponseWriter, _ *http.Request, id stri
 
 // handleJobDelete implements DELETE /v1/jobs/{id}: cancellation for active
 // jobs (202 — the job transitions to failed and stays pollable), eviction
-// for finished ones (204).
+// for finished ones (200, with the job's final state so the caller sees
+// what it deleted). The manager decides atomically, so a job that finishes
+// concurrently with the DELETE is still evicted — deleting a finished job
+// always deletes it, never answers with a stale "cancelling".
 func (s *Server) handleJobDelete(w http.ResponseWriter, _ *http.Request, id string) {
-	cancelled, err := s.jobs.Delete(id)
+	job, cancelled, err := s.jobs.Delete(id)
 	switch {
 	case errors.Is(err, jobs.ErrUnknownJob):
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "deleting job %s: %v", id, err)
 	case cancelled:
-		job, ok := s.jobs.Get(id)
-		if !ok {
-			w.WriteHeader(http.StatusNoContent)
-			return
-		}
 		writeJSON(w, http.StatusAccepted, evalAccepted{Job: job.Info(), Version: buildinfo.Version})
 	default:
-		w.WriteHeader(http.StatusNoContent)
+		writeJSON(w, http.StatusOK, evalAccepted{Job: job.Info(), Version: buildinfo.Version})
 	}
 }

@@ -225,6 +225,62 @@ func TestEvalJobCancellation(t *testing.T) {
 	}
 }
 
+// TestJobDeleteFinishedEvicts is the regression test for the
+// finished-job DELETE race: deleting a done job must evict it (200 with
+// the final state), deleting it again must 404, and the cancel path must
+// never fire for a job that already finished.
+func TestJobDeleteFinishedEvicts(t *testing.T) {
+	ts := newTestServer(t)
+	small := smallSuiteConfig()
+	small.Sections = []string{"fig6"}
+	id := launchEval(t, ts, small)
+	if info := pollJob(t, ts, id); info.State != jobs.StateDone {
+		t.Fatalf("job finished %s: %s", info.State, info.Error)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("DELETE finished job = %d (%s), want 200", resp.StatusCode, body)
+	}
+	var evicted struct {
+		Job jobs.Info `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&evicted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if evicted.Job.State != jobs.StateDone {
+		t.Errorf("evicted job reported state %s, want done (not a stale cancel)", evicted.Job.State)
+	}
+
+	// Actually evicted: gone from status and a second DELETE.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Errorf("status after evict = %d, want 404", sresp.StatusCode)
+	}
+	again, err := http.DefaultClient.Do(req.Clone(req.Context()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Body.Close()
+	if again.StatusCode != http.StatusNotFound {
+		t.Errorf("second DELETE = %d, want 404", again.StatusCode)
+	}
+}
+
 func TestEvalRequestValidation(t *testing.T) {
 	ts := newTestServer(t)
 	for _, tc := range []struct {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/rng"
+	"repro/internal/tenant"
 )
 
 // fitRequest is the body of POST /v1/models: either an inline CSV upload
@@ -123,8 +124,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // handleFit implements POST /v1/models: decode the dataset, register it
 // under its cache key, and kick off a background fit. Identical uploads
-// (same dataset bytes and fit config) return the already-registered model.
-func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+// (same dataset bytes and fit config) return the already-registered model;
+// the requesting tenant is recorded as an owner either way.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request, tn *tenant.Identity) {
 	var req fitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
 	// A silently ignored typo ("model_epsilon") would fit a model with a
@@ -204,6 +206,9 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	key := hex.EncodeToString(hash.Sum(nil))
 
 	if entry, ok := s.reg.Lookup(key); ok {
+		if tn != nil {
+			entry.AddOwner(tn.Name)
+		}
 		state, _ := entry.State()
 		writeJSON(w, http.StatusOK, fitResponse{
 			ID: entry.ID, State: state, Cached: true, Rows: entry.Rows, Clean: entry.Clean,
@@ -247,6 +252,9 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
+	if tn != nil {
+		entry.AddOwner(tn.Name)
+	}
 	state, _ := entry.State()
 	status := http.StatusAccepted
 	if cached {
@@ -261,9 +269,10 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStatus implements GET /v1/models/{id}.
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, id string) {
-	entry, ok := s.reg.Get(id)
+// handleStatus implements GET /v1/models/{id}. Another tenant's model reads
+// as 404, indistinguishable from a model that does not exist.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, id string, tn *tenant.Identity) {
+	entry, ok := s.getModelFor(id, tn)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown model %q", id)
 		return
@@ -318,8 +327,8 @@ func summarizeStructure(fm *sgf.FittedModel) *structureJSON {
 // NDJSON, one JSON object per record, attributes in schema order. Identical
 // requests (same model, seed and parameters) stream identical bytes
 // whatever the server's concurrency — see core.GenerateCtx.
-func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id string) {
-	entry, ok := s.reg.Get(id)
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id string, tn *tenant.Identity) {
+	entry, ok := s.getModelFor(id, tn)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown model %q", id)
 		return
@@ -381,11 +390,18 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 		return
 	}
 
-	// Share the sized worker pool across concurrent requests. The grant
-	// size affects latency only, never the streamed bytes.
-	granted, release, err := s.pool.Acquire(ctx, req.Workers)
+	// Share the sized worker pool across concurrent requests — behind the
+	// tenant's worker-grant quota, so one tenant cannot drain the shared
+	// pool however many requests it opens. The grant size affects latency
+	// only, never the streamed bytes.
+	granted, release, err := s.acquireWorkers(ctx, tn, req.Workers)
 	if err != nil {
-		return // client went away while queued
+		if errors.Is(err, errWorkerQuota) {
+			tn.CountThrottle()
+			setRetryAfter(w, time.Second)
+			writeError(w, http.StatusTooManyRequests, "tenant %s worker quota (%d) fully in use; retry later", tn.Name, tn.MaxWorkers())
+		}
+		return // otherwise the client went away while queued
 	}
 	defer release()
 
@@ -482,6 +498,10 @@ func (e *recordEncoder) append(buf *bytes.Buffer, rec dataset.Record) {
 // load/flush errors; the jobs section reports the evaluation-job queue; the
 // version ties the process to the commit that built it.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	auth := map[string]any{"enabled": s.cfg.Auth != nil}
+	if s.cfg.Auth != nil {
+		auth["tenants"] = s.cfg.Auth.Len()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":           "ok",
 		"version":          buildinfo.Version,
@@ -491,6 +511,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"records_released": s.metrics.RecordsReleased(),
 		"store":            s.storeStatus(),
 		"jobs":             s.jobs.Stats(),
+		"auth":             auth,
 	})
 }
 
@@ -499,6 +520,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w)
 	writeJobsMetrics(w, s.jobs.Stats())
+	if s.cfg.Auth != nil {
+		writeTenantMetrics(w, s.cfg.Auth.Snapshot())
+	}
 	if s.store != nil {
 		s.store.WriteMetrics(w)
 	}

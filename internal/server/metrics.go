@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/tenant"
 )
 
 // Metrics aggregates the server's operational counters. All methods are
@@ -144,6 +145,31 @@ func writeJobsMetrics(w io.Writer, st jobs.Stats) (int64, error) {
 	add("# TYPE sgfd_jobs_running gauge\nsgfd_jobs_running %d\n", st.Running)
 	add("# TYPE sgfd_jobs_queued gauge\nsgfd_jobs_queued %d\n", st.Queued)
 	add("# TYPE sgfd_jobs_retained gauge\nsgfd_jobs_retained %d\n", st.Retained)
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// writeTenantMetrics renders the per-tenant counters in the Prometheus text
+// exposition format. The numbers come from the tenant registry (its
+// counters are the source of truth); this helper only formats them. The
+// snapshot is name-sorted, so the series order is stable scrape to scrape.
+func writeTenantMetrics(w io.Writer, tenants []tenant.Stats) (int64, error) {
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	add("# TYPE sgfd_tenant_requests_total counter\n")
+	for _, t := range tenants {
+		add("sgfd_tenant_requests_total{tenant=%q} %d\n", t.Name, t.Requests)
+	}
+	add("# TYPE sgfd_tenant_throttled_total counter\n")
+	for _, t := range tenants {
+		add("sgfd_tenant_throttled_total{tenant=%q} %d\n", t.Name, t.Throttled)
+	}
+	add("# TYPE sgfd_tenant_workers_in_flight gauge\n")
+	for _, t := range tenants {
+		add("sgfd_tenant_workers_in_flight{tenant=%q} %d\n", t.Name, t.WorkersInUse)
+	}
 	n, err := w.Write(b)
 	return int64(n), err
 }

@@ -41,13 +41,13 @@ func (p *WorkerPool) Size() int { return cap(p.tokens) }
 // InUse returns the number of tokens currently held.
 func (p *WorkerPool) InUse() int { return cap(p.tokens) - len(p.tokens) }
 
-// Acquire obtains between 1 and want tokens (want <= 0 asks for half the
-// pool, the default for requests that did not size themselves). It blocks —
-// honouring ctx — until at least one token is free, then drains additional
-// free tokens without blocking, capped at size-1 so one request never
-// monopolizes the pool. The returned release function must be called
-// exactly once.
-func (p *WorkerPool) Acquire(ctx context.Context, want int) (int, func(), error) {
+// ClampWant normalizes a requested worker count to what Acquire can
+// actually grant: want <= 0 asks for half the pool (the default for
+// requests that did not size themselves), at most the pool size, and never
+// the whole pool when it has more than one token. Callers that account for
+// grants elsewhere (the tenant worker ledger) clamp with this first, so
+// they never reserve a unit the pool cannot hand out.
+func (p *WorkerPool) ClampWant(want int) int {
 	size := cap(p.tokens)
 	if want <= 0 {
 		want = (size + 1) / 2
@@ -58,6 +58,16 @@ func (p *WorkerPool) Acquire(ctx context.Context, want int) (int, func(), error)
 	if size > 1 && want == size {
 		want = size - 1
 	}
+	return want
+}
+
+// Acquire obtains between 1 and want tokens (normalized by ClampWant). It
+// blocks — honouring ctx — until at least one token is free, then drains
+// additional free tokens without blocking, capped at size-1 so one request
+// never monopolizes the pool. The returned release function must be called
+// exactly once.
+func (p *WorkerPool) Acquire(ctx context.Context, want int) (int, func(), error) {
+	want = p.ClampWant(want)
 	select {
 	case <-p.tokens:
 	case <-ctx.Done():

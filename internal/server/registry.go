@@ -70,8 +70,38 @@ type ModelEntry struct {
 	err    error
 	fitted *sgf.FittedModel
 	fitDur time.Duration
+	// owners names the tenants that registered this model (fit, cache-hit
+	// re-fit, or import). Models are content-addressed, so two tenants
+	// uploading identical data share one entry and both own it — each
+	// already holds the data, so co-ownership reveals nothing. Ownership is
+	// in-memory only: models revived from a snapshot start unowned
+	// (admin-visible) until a tenant re-registers them. nil until the first
+	// owner.
+	owners map[string]struct{}
 
 	elem *list.Element // LRU position, guarded by the registry lock
+}
+
+// AddOwner records a tenant as an owner of the model. Empty names
+// (authentication disabled) are ignored.
+func (e *ModelEntry) AddOwner(name string) {
+	if name == "" {
+		return
+	}
+	e.mu.Lock()
+	if e.owners == nil {
+		e.owners = make(map[string]struct{})
+	}
+	e.owners[name] = struct{}{}
+	e.mu.Unlock()
+}
+
+// OwnedBy reports whether the named tenant registered this model.
+func (e *ModelEntry) OwnedBy(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.owners[name]
+	return ok
 }
 
 // State returns the entry's state and, for StateFailed, the error.
@@ -215,6 +245,16 @@ func (r *Registry) Lookup(key string) (*ModelEntry, bool) {
 	}
 	r.metrics.CacheHit()
 	return e, true
+}
+
+// Resident returns the entry for id only if it is loaded in memory —
+// without consulting the snapshot store or touching the LRU order. Access
+// checks use it as a side-effect-free existence probe.
+func (r *Registry) Resident(id string) (*ModelEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	return e, ok
 }
 
 // Get returns the entry for id, marking it most recently used. A miss falls

@@ -40,6 +40,16 @@
 // restarted server answers repeat fit requests — and serves synthesize
 // requests byte-identically — without refitting (the paper's
 // fit-once/synthesize-many split, made durable).
+//
+// With Config.Auth set, the server is multi-tenant: every /v1/* request
+// must present a configured API key (401 otherwise), routes are gated by
+// the tenant's role (reader: reads + synthesize; writer: + fit/import/eval;
+// admin: + deletion, and visibility into every tenant's jobs and models;
+// 403 below the bar), requests pass the tenant's token-bucket rate limit
+// and worker/job quotas (429 + Retry-After), and jobs and models are scoped
+// to the tenants that created them — another tenant's resources read as
+// 404. /healthz and /metrics stay open; /metrics additionally exports
+// per-tenant sgfd_tenant_* series.
 package server
 
 import (
@@ -49,6 +59,7 @@ import (
 
 	"repro/internal/jobs"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Config parameterizes a Server.
@@ -87,6 +98,12 @@ type Config struct {
 	// request (0 = 200000) — one request may not commit the server to an
 	// unbounded pipeline build.
 	EvalMaxN int
+	// Auth enables multi-tenant access control: every /v1/* request must
+	// carry a configured API key, routes are gated by the tenant's role,
+	// the tenant's rate limit and quotas apply, and jobs/models are scoped
+	// to their owning tenant. /healthz and /metrics stay open. nil (the
+	// default) serves every request anonymously, exactly as before.
+	Auth *tenant.Registry
 	// Log receives one line per request; nil disables logging.
 	Log *log.Logger
 }
@@ -192,29 +209,42 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// route dispatches and returns the handler name for metrics.
+// route dispatches and returns the handler name for metrics. /healthz and
+// /metrics are handled before authentication — they stay open; everything
+// else passes the tenant middleware first (a no-op when Config.Auth is
+// nil), then a per-route role gate.
 func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 	path := r.URL.Path
-	switch {
-	case path == "/healthz":
-		if !requireMethod(w, r, http.MethodGet) {
-			return "healthz"
+	switch path {
+	case "/healthz":
+		if requireMethod(w, r, http.MethodGet) {
+			s.handleHealthz(w, r)
 		}
-		s.handleHealthz(w, r)
 		return "healthz"
-	case path == "/metrics":
-		if !requireMethod(w, r, http.MethodGet) {
-			return "metrics"
+	case "/metrics":
+		if requireMethod(w, r, http.MethodGet) {
+			s.handleMetrics(w, r)
 		}
-		s.handleMetrics(w, r)
 		return "metrics"
+	}
+
+	tn, ok := s.authenticate(w, r)
+	if !ok {
+		return "auth"
+	}
+
+	switch {
 	case path == "/v1/models":
 		switch r.Method {
 		case http.MethodPost:
-			s.handleFit(w, r)
+			if requireRole(w, tn, tenant.RoleWriter) {
+				s.handleFit(w, r, tn)
+			}
 			return "fit"
 		case http.MethodGet:
-			s.handleListModels(w, r)
+			if requireRole(w, tn, tenant.RoleReader) {
+				s.handleListModels(w, r, tn)
+			}
 			return "models"
 		default:
 			w.Header().Set("Allow", "GET, POST")
@@ -225,19 +255,25 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		if !requireMethod(w, r, http.MethodPost) {
 			return "import"
 		}
-		s.handleImport(w, r)
+		if requireRole(w, tn, tenant.RoleWriter) {
+			s.handleImport(w, r, tn)
+		}
 		return "import"
 	case path == "/v1/eval":
 		if !requireMethod(w, r, http.MethodPost) {
 			return "eval"
 		}
-		s.handleEvalLaunch(w, r)
+		if requireRole(w, tn, tenant.RoleWriter) {
+			s.handleEvalLaunch(w, r, tn)
+		}
 		return "eval"
 	case path == "/v1/jobs":
 		if !requireMethod(w, r, http.MethodGet) {
 			return "jobs"
 		}
-		s.handleListJobs(w, r)
+		if requireRole(w, tn, tenant.RoleReader) {
+			s.handleListJobs(w, r, tn)
+		}
 		return "jobs"
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		rest := strings.TrimPrefix(path, "/v1/jobs/")
@@ -249,7 +285,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			if !requireMethod(w, r, http.MethodGet) {
 				return "jobresult"
 			}
-			s.handleJobResult(w, r, id)
+			if requireRole(w, tn, tenant.RoleReader) {
+				s.handleJobResult(w, r, id, tn)
+			}
 			return "jobresult"
 		}
 		if !validJobID(rest) {
@@ -258,10 +296,14 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		}
 		switch r.Method {
 		case http.MethodGet:
-			s.handleJobStatus(w, r, rest)
+			if requireRole(w, tn, tenant.RoleReader) {
+				s.handleJobStatus(w, r, rest, tn)
+			}
 			return "jobstatus"
 		case http.MethodDelete:
-			s.handleJobDelete(w, r, rest)
+			if requireRole(w, tn, tenant.RoleAdmin) {
+				s.handleJobDelete(w, r, rest)
+			}
 			return "jobdelete"
 		default:
 			w.Header().Set("Allow", "GET, DELETE")
@@ -278,7 +320,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			if !requireMethod(w, r, http.MethodPost) {
 				return "synthesize"
 			}
-			s.handleSynthesize(w, r, id)
+			if requireRole(w, tn, tenant.RoleReader) {
+				s.handleSynthesize(w, r, id, tn)
+			}
 			return "synthesize"
 		}
 		if id, ok := strings.CutSuffix(rest, "/export"); ok {
@@ -289,7 +333,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			if !requireMethod(w, r, http.MethodGet) {
 				return "export"
 			}
-			s.handleExport(w, r, id)
+			if requireRole(w, tn, tenant.RoleReader) {
+				s.handleExport(w, r, id, tn)
+			}
 			return "export"
 		}
 		if !validModelID(rest) {
@@ -298,10 +344,14 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		}
 		switch r.Method {
 		case http.MethodGet:
-			s.handleStatus(w, r, rest)
+			if requireRole(w, tn, tenant.RoleReader) {
+				s.handleStatus(w, r, rest, tn)
+			}
 			return "status"
 		case http.MethodDelete:
-			s.handleDeleteModel(w, r, rest)
+			if requireRole(w, tn, tenant.RoleAdmin) {
+				s.handleDeleteModel(w, r, rest)
+			}
 			return "delete"
 		default:
 			w.Header().Set("Allow", "GET, DELETE")

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzDecodeSnapshot throws arbitrary bytes at the snapshot codec — the
+// path every POST /v1/models/import request and every file in a store
+// directory goes through. Decode promises to reject hostile input with an
+// error, never panic, never over-allocate from a forged length, and never
+// return a snapshot that would re-encode differently than it decoded
+// (which would let corruption survive a round trip unnoticed).
+//
+// The seed corpus starts from the checked-in golden snapshot plus targeted
+// mutations of it (truncations, bit flips in the header, body and
+// checksum), so the fuzzer begins at the deepest decode layers instead of
+// spending its budget rediscovering the magic.
+func FuzzDecodeSnapshot(f *testing.F) {
+	golden, err := os.ReadFile("testdata/golden_v1.snap")
+	if err != nil {
+		f.Fatalf("reading golden snapshot: %v", err)
+	}
+	f.Add(golden)
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Add(golden[:len(golden)/2])                    // truncated body
+	f.Add(golden[:len(golden)-4])                    // missing checksum
+	f.Add(append([]byte("XXXXXXXX"), golden[8:]...)) // wrong magic
+	flipped := bytes.Clone(golden)
+	flipped[len(flipped)/2] ^= 0x40 // payload bit rot
+	f.Add(flipped)
+	badsum := bytes.Clone(golden)
+	badsum[len(badsum)-1] ^= 0x01 // checksum bit rot
+	f.Add(badsum)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			return // rejected: exactly what hostile input should get
+		}
+		// Accepted input must survive a re-encode/re-decode round trip with
+		// identical bytes — the determinism the warm-start and export paths
+		// rely on.
+		out, err := snap.Encode()
+		if err != nil {
+			t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+		}
+		again, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+		out2, err := again.Encode()
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatal("snapshot encoding is not deterministic across a round trip")
+		}
+	})
+}

@@ -1,0 +1,486 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeKeys writes a key file and returns its path.
+func writeKeys(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "keys.json")
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const threeTenants = `{
+  "tenants": [
+    {"name": "reader-co", "key": "reader-key-0123456789", "role": "reader"},
+    {"name": "writer-co", "key": "writer-key-0123456789", "role": "writer", "max_jobs": 1, "max_workers": 2},
+    {"name": "admin-co",  "key": "admin-key-0123456789",  "role": "admin", "rate_per_sec": 2, "burst": 3}
+  ]
+}`
+
+func TestLoadAndAuthenticate(t *testing.T) {
+	reg, err := Load(writeKeys(t, threeTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", reg.Len())
+	}
+
+	tn, ok := reg.Authenticate("writer-key-0123456789")
+	if !ok || tn.Name != "writer-co" || tn.Role() != RoleWriter {
+		t.Fatalf("Authenticate(writer key) = %+v, %v", tn, ok)
+	}
+	if tn.MaxJobs() != 1 || tn.MaxWorkers() != 2 {
+		t.Fatalf("writer quotas = %d jobs, %d workers", tn.MaxJobs(), tn.MaxWorkers())
+	}
+	for _, bad := range []string{"", "writer-key", "writer-key-0123456789x", "WRITER-KEY-0123456789"} {
+		if _, ok := reg.Authenticate(bad); ok {
+			t.Errorf("Authenticate(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	for name, body := range map[string]string{
+		"empty":          `{}`,
+		"no tenants":     `{"tenants": []}`,
+		"short key":      `{"tenants": [{"name": "a", "key": "short", "role": "reader"}]}`,
+		"bad role":       `{"tenants": [{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "root"}]}`,
+		"no name":        `{"tenants": [{"key": "aaaaaaaaaaaaaaaa", "role": "reader"}]}`,
+		"negative rate":  `{"tenants": [{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader", "rate_per_sec": -1}]}`,
+		"negative quota": `{"tenants": [{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader", "max_jobs": -1}]}`,
+		"dup name": `{"tenants": [
+			{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader"},
+			{"name": "a", "key": "bbbbbbbbbbbbbbbb", "role": "reader"}]}`,
+		"dup key": `{"tenants": [
+			{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader"},
+			{"name": "b", "key": "aaaaaaaaaaaaaaaa", "role": "reader"}]}`,
+		"not json": `nope`,
+	} {
+		if _, err := Load(writeKeys(t, body)); err == nil {
+			t.Errorf("%s: Load succeeded, want error", name)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load(missing file) succeeded")
+	}
+}
+
+func TestRoleHierarchy(t *testing.T) {
+	cases := []struct {
+		holder, required Role
+		want             bool
+	}{
+		{RoleReader, RoleReader, true},
+		{RoleReader, RoleWriter, false},
+		{RoleReader, RoleAdmin, false},
+		{RoleWriter, RoleReader, true},
+		{RoleWriter, RoleWriter, true},
+		{RoleWriter, RoleAdmin, false},
+		{RoleAdmin, RoleReader, true},
+		{RoleAdmin, RoleAdmin, true},
+		{Role("bogus"), RoleReader, false},
+	}
+	for _, c := range cases {
+		if got := c.holder.Allows(c.required); got != c.want {
+			t.Errorf("%s allows %s = %v, want %v", c.holder, c.required, got, c.want)
+		}
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	reg, err := Load(writeKeys(t, threeTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Authenticate("admin-key-0123456789")
+
+	// burst=3: three immediate requests pass, the fourth is throttled with
+	// a positive Retry-After.
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := tn.Allow(now); !ok {
+			t.Fatalf("request %d throttled within burst", i)
+		}
+	}
+	ok, retry := tn.Allow(now)
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("Retry-After = %v, want (0, 1s] at 2 req/s", retry)
+	}
+
+	// rate=2/s: after 500ms one token has refilled.
+	if ok, _ := tn.Allow(now.Add(500 * time.Millisecond)); !ok {
+		t.Fatal("request after refill throttled")
+	}
+	// The bucket never refills beyond its burst.
+	later := now.Add(time.Hour)
+	passed := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := tn.Allow(later); ok {
+			passed++
+		}
+	}
+	if passed != 3 {
+		t.Fatalf("passed %d requests after long idle, want burst of 3", passed)
+	}
+
+	if st := tn.Stats(); st.Throttled == 0 {
+		t.Error("throttled counter did not move")
+	}
+
+	// Unlimited tenants never throttle.
+	free, _ := reg.Authenticate("reader-key-0123456789")
+	for i := 0; i < 100; i++ {
+		if ok, _ := free.Allow(now); !ok {
+			t.Fatal("unlimited tenant throttled")
+		}
+	}
+}
+
+func TestReserveWorkers(t *testing.T) {
+	reg, err := Load(writeKeys(t, threeTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Authenticate("writer-key-0123456789") // max_workers=2
+
+	got, release, ok := tn.ReserveWorkers(8)
+	if !ok || got != 2 {
+		t.Fatalf("ReserveWorkers(8) = %d, %v; want 2 under quota", got, ok)
+	}
+	if st := tn.Stats(); st.WorkersInUse != 2 {
+		t.Fatalf("WorkersInUse = %d, want 2", st.WorkersInUse)
+	}
+	// Quota fully committed: further reservations refuse. The refusal is
+	// not a throttle by itself — only the HTTP layer's 429 counts one (a
+	// background job retrying the reservation must not inflate the metric).
+	if _, _, ok := tn.ReserveWorkers(1); ok {
+		t.Fatal("reservation beyond quota succeeded")
+	}
+	if st := tn.Stats(); st.Throttled != 0 {
+		t.Fatalf("Throttled = %d, want 0 (refusals count only when answered with 429)", st.Throttled)
+	}
+	tn.CountThrottle()
+	if st := tn.Stats(); st.Throttled != 1 {
+		t.Fatalf("Throttled after CountThrottle = %d, want 1", st.Throttled)
+	}
+	// Partial early return (pool granted less than reserved) frees quota.
+	release(1)
+	if got2, release2, ok := tn.ReserveWorkers(5); !ok || got2 != 1 {
+		t.Fatalf("post-release reservation = %d, %v; want 1", got2, ok)
+	} else {
+		release2(got2)
+	}
+	release(1)
+	if st := tn.Stats(); st.WorkersInUse != 0 {
+		t.Fatalf("WorkersInUse after full release = %d, want 0", st.WorkersInUse)
+	}
+
+	// Unbounded tenants get exactly what they ask for.
+	free, _ := reg.Authenticate("reader-key-0123456789")
+	if got, release, ok := free.ReserveWorkers(64); !ok || got != 64 {
+		t.Fatalf("unbounded reservation = %d, %v", got, ok)
+	} else {
+		release(got)
+	}
+}
+
+func TestReloadPreservesRuntimeState(t *testing.T) {
+	path := writeKeys(t, threeTenants)
+	reg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Authenticate("writer-key-0123456789")
+	tn.CountRequest()
+	tn.CountRequest()
+	_, release, _ := tn.ReserveWorkers(1)
+	defer release(1)
+
+	// Rotate writer-co's key, drop reader-co, add a new tenant.
+	rotated := `{
+	  "tenants": [
+	    {"name": "writer-co", "key": "rotated-key-0123456789", "role": "admin", "max_workers": 2},
+	    {"name": "newcomer",  "key": "newcomer-key-0123456789", "role": "reader"}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(rotated), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := reg.Authenticate("writer-key-0123456789"); ok {
+		t.Error("rotated-away key still authenticates")
+	}
+	if _, ok := reg.Authenticate("reader-key-0123456789"); ok {
+		t.Error("removed tenant still authenticates")
+	}
+	tn2, ok := reg.Authenticate("rotated-key-0123456789")
+	if !ok {
+		t.Fatal("rotated key does not authenticate")
+	}
+	if tn2.Tenant != tn.Tenant {
+		t.Error("reload did not preserve the tenant's runtime identity")
+	}
+	if tn2.Role() != RoleAdmin {
+		t.Errorf("reloaded role = %s, want admin", tn2.Role())
+	}
+	st := tn2.Stats()
+	if st.Requests != 2 || st.WorkersInUse != 1 {
+		t.Errorf("reloaded stats = %+v, want 2 requests and 1 worker in use", st)
+	}
+	if _, ok := reg.Authenticate("newcomer-key-0123456789"); !ok {
+		t.Error("new tenant does not authenticate")
+	}
+
+	// A broken rewrite keeps the previous set serving.
+	if err := os.WriteFile(path, []byte("{broken"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err == nil {
+		t.Fatal("Reload of broken file succeeded")
+	}
+	if _, ok := reg.Authenticate("rotated-key-0123456789"); !ok {
+		t.Error("failed reload dropped the previous tenant set")
+	}
+}
+
+// TestReloadKeepsDrainingTenantsInSnapshot pins the metrics accounting
+// across removals: a tenant dropped by a reload while holding worker
+// grants keeps its sgfd_tenant_* series (so pool tokens never go
+// unattributed), stops authenticating immediately, and is pruned from the
+// snapshot once its grants return.
+func TestReloadKeepsDrainingTenantsInSnapshot(t *testing.T) {
+	path := writeKeys(t, threeTenants)
+	reg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Authenticate("writer-key-0123456789")
+	n, release, ok := tn.ReserveWorkers(2)
+	if !ok || n != 2 {
+		t.Fatalf("reservation = %d, %v", n, ok)
+	}
+
+	// Remove writer-co while it holds both units.
+	readerOnly := `{"tenants": [
+		{"name": "reader-co", "key": "reader-key-0123456789", "role": "reader"}
+	]}`
+	if err := os.WriteFile(path, []byte(readerOnly), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Authenticate("writer-key-0123456789"); ok {
+		t.Error("removed tenant still authenticates")
+	}
+	found := false
+	for _, st := range reg.Snapshot() {
+		if st.Name == "writer-co" {
+			found = true
+			if st.WorkersInUse != 2 {
+				t.Errorf("draining tenant reports %d workers, want 2", st.WorkersInUse)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("draining tenant missing from snapshot while holding grants")
+	}
+
+	// A pin (a queued job that has not reserved workers yet) keeps the
+	// tenant draining even with zero grants — its future grants must stay
+	// attributed, and a re-add must recover this object, not mint a fresh
+	// quota.
+	tn.Pin()
+	release(2)
+	found = false
+	for _, st := range reg.Snapshot() {
+		found = found || st.Name == "writer-co"
+	}
+	if !found {
+		t.Fatal("pinned draining tenant pruned from snapshot")
+	}
+
+	// Re-add writer-co while pinned: same runtime object comes back.
+	if err := os.WriteFile(path, []byte(threeTenants), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	back, ok := reg.Authenticate("writer-key-0123456789")
+	if !ok || back.Tenant != tn.Tenant {
+		t.Fatal("re-added tenant did not recover its draining identity")
+	}
+
+	// Drop it again, release the pin: the next snapshot prunes the series.
+	if err := os.WriteFile(path, []byte(readerOnly), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	tn.Unpin()
+	for _, st := range reg.Snapshot() {
+		if st.Name == "writer-co" {
+			t.Fatal("idle draining tenant still in snapshot")
+		}
+	}
+	if got := len(reg.Snapshot()); got != 1 {
+		t.Fatalf("snapshot has %d tenants, want 1", got)
+	}
+}
+
+// TestReloadRaceWithTraffic exercises a SIGHUP reload concurrent with the
+// reads request handlers perform (Role, Allow, ReserveWorkers, Stats,
+// Authenticate). Run under -race this pins that reload mutates tenant
+// configuration only behind the tenant lock.
+func TestReloadRaceWithTraffic(t *testing.T) {
+	path := writeKeys(t, threeTenants)
+	reg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Authenticate("writer-key-0123456789")
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		now := time.Unix(0, 0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tn.Role()
+			_, _ = tn.Allow(now)
+			if n, release, ok := tn.ReserveWorkers(1); ok {
+				release(n)
+			}
+			_ = tn.Stats()
+			_, _ = reg.Authenticate("writer-key-0123456789")
+			_ = reg.Snapshot()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if err := reg.Reload(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	reg, err := Load(writeKeys(t, threeTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d tenants", len(snap))
+	}
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	if got := strings.Join(names, ","); got != "admin-co,reader-co,writer-co" {
+		t.Fatalf("snapshot order = %s", got)
+	}
+}
+
+// TestReadKey pins the per-key role model: a read_key authenticates as the
+// same tenant (same runtime identity, counters, quotas) but clamped to the
+// reader role — the mechanism that makes the reader tier usable (a
+// read-only credential for a tenant whose writer key registered the data).
+func TestReadKey(t *testing.T) {
+	reg, err := Load(writeKeys(t, `{"tenants": [
+		{"name": "acme", "key": "acme-write-key-000001", "read_key": "acme-read-key-0000001", "role": "writer", "max_workers": 3}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, ok := reg.Authenticate("acme-write-key-000001")
+	if !ok || writer.Role() != RoleWriter {
+		t.Fatalf("writer key = %+v, %v", writer, ok)
+	}
+	reader, ok := reg.Authenticate("acme-read-key-0000001")
+	if !ok || reader.Role() != RoleReader {
+		t.Fatalf("read key = %+v, %v", reader, ok)
+	}
+	if reader.Tenant != writer.Tenant {
+		t.Fatal("read key resolved to a different tenant identity")
+	}
+	// Shared runtime state: a reservation through one key is visible (and
+	// counted) through the other.
+	n, release, ok := writer.ReserveWorkers(2)
+	if !ok || n != 2 {
+		t.Fatalf("reservation = %d, %v", n, ok)
+	}
+	if st := reader.Stats(); st.WorkersInUse != 2 {
+		t.Fatalf("read key sees %d workers in use, want 2", st.WorkersInUse)
+	}
+	release(n)
+
+	// A short or duplicate read_key is rejected at load time.
+	if _, err := Load(writeKeys(t, `{"tenants": [
+		{"name": "a", "key": "aaaaaaaaaaaaaaaa", "read_key": "short", "role": "writer"}
+	]}`)); err == nil {
+		t.Error("short read_key accepted")
+	}
+	if _, err := Load(writeKeys(t, `{"tenants": [
+		{"name": "a", "key": "aaaaaaaaaaaaaaaa", "read_key": "aaaaaaaaaaaaaaaa", "role": "writer"}
+	]}`)); err == nil {
+		t.Error("read_key duplicating the primary key accepted")
+	}
+}
+
+// TestNameCharset pins the tenant-name restriction: names travel into
+// Prometheus label values, whose text format cannot carry control
+// characters, so anything outside [A-Za-z0-9._-] is rejected at load.
+func TestNameCharset(t *testing.T) {
+	for _, bad := range []string{"has space", "tab\tname", "new\nline", "quo\"te", "back\\slash", "", strings.Repeat("x", 65)} {
+		body := `{"tenants": [{"name": ` + strconv.Quote(bad) + `, "key": "aaaaaaaaaaaaaaaa", "role": "reader"}]}`
+		if _, err := Load(writeKeys(t, body)); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	if _, err := Load(writeKeys(t, `{"tenants": [{"name": "Team-1.prod_x", "key": "aaaaaaaaaaaaaaaa", "role": "reader"}]}`)); err != nil {
+		t.Errorf("valid name rejected: %v", err)
+	}
+}
+
+func TestRateWithoutBurstGetsDepthOne(t *testing.T) {
+	reg, err := Load(writeKeys(t, `{"tenants": [
+		{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader", "rate_per_sec": 1}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.Authenticate("aaaaaaaaaaaaaaaa")
+	now := time.Unix(0, 0)
+	if ok, _ := tn.Allow(now); !ok {
+		t.Fatal("first request refused despite implied burst of 1")
+	}
+	if ok, _ := tn.Allow(now); ok {
+		t.Fatal("second immediate request allowed with burst 1")
+	}
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzReader drives every Reader accessor over arbitrary bytes. The codec
+// underlies each model snapshot (and with it every import upload), so the
+// contract under hostile input is: record an error and return zero values —
+// never panic, and never allocate more than the input's own size allows
+// (the length() guard). The read sequence deliberately mixes scalar and
+// length-prefixed kinds so forged length prefixes land in front of every
+// accessor.
+func FuzzReader(f *testing.F) {
+	// Seed with a well-formed record covering every kind, so the fuzzer
+	// starts mutating valid structure instead of guessing it.
+	w := &Writer{}
+	w.Uvarint(7)
+	w.Varint(-42)
+	w.Int(123456)
+	w.Bool(true)
+	w.Float64(3.14)
+	w.String("seed")
+	w.BytesField([]byte{1, 2, 3})
+	w.Float64s([]float64{1.5, -2.5})
+	w.Uint16s([]uint16{0, 65535})
+	w.Ints([]int{-1, 0, 99})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // max uvarint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = r.Uvarint()
+		_ = r.Varint()
+		_ = r.Int()
+		_ = r.Bool()
+		_ = r.Float64()
+		_ = r.ReadString()
+		_ = r.BytesField()
+		_ = r.Float64s()
+		_ = r.Uint16s()
+		_ = r.Ints()
+		if err := r.Err(); err != nil {
+			// Errors must be sticky: once failed, every further read keeps
+			// the first error and consumes nothing.
+			before := r.Remaining()
+			_ = r.Uvarint()
+			if r.Remaining() != before {
+				t.Fatal("failed reader consumed input")
+			}
+			if r.Err() != err {
+				t.Fatalf("error not sticky: %v -> %v", err, r.Err())
+			}
+			return
+		}
+		_ = r.Done()
+	})
+}
