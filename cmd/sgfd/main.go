@@ -35,6 +35,8 @@ func main() {
 		evalRetain  = flag.Int("eval-retain", 16, "finished evaluation jobs kept for result polling (oldest evicted)")
 		evalMaxN    = flag.Int("eval-max-n", 200_000, "largest simulated-record count one evaluation job may request")
 		keysFile    = flag.String("keys-file", "", "tenant key file (JSON): enables API-key authentication, roles and per-tenant rate limits on /v1/*; SIGHUP reloads it (empty = no authentication)")
+		budgetEps   = flag.Float64("tenant-budget-eps", 0, "default lifetime privacy budget ε per tenant: synthesize requests that would push a tenant's composed (ε, δ) past it get 403 (0 = no enforcement; the records-released ledger still counts, and persists in -store-dir)")
+		budgetDelta = flag.Float64("tenant-budget-delta", 1e-6, "default lifetime privacy budget δ per tenant (used with -tenant-budget-eps)")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -73,17 +75,19 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		PoolSize:       *workers,
-		CacheCap:       *cacheCap,
-		MaxUploadBytes: *maxBody,
-		StoreDir:       *storeDir,
-		StoreMaxBytes:  *storeMax,
-		EvalMaxRunning: *evalRunning,
-		EvalMaxPending: *evalPending,
-		EvalRetain:     *evalRetain,
-		EvalMaxN:       *evalMaxN,
-		Auth:           auth,
-		Log:            reqLog,
+		PoolSize:          *workers,
+		CacheCap:          *cacheCap,
+		MaxUploadBytes:    *maxBody,
+		StoreDir:          *storeDir,
+		StoreMaxBytes:     *storeMax,
+		EvalMaxRunning:    *evalRunning,
+		EvalMaxPending:    *evalPending,
+		EvalRetain:        *evalRetain,
+		EvalMaxN:          *evalMaxN,
+		Auth:              auth,
+		TenantBudgetEps:   *budgetEps,
+		TenantBudgetDelta: *budgetDelta,
+		Log:               reqLog,
 	})
 	if err != nil {
 		logger.Fatalf("starting server: %v", err)

@@ -7,6 +7,12 @@
 // The package is deliberately workload-agnostic: a job is any
 // func(ctx, progress) (any, error). The HTTP layer decides what runs (an
 // eval.RunSuite call holding worker-pool tokens) and how results serialize.
+//
+// Persistence is a seam, not a dependency: Hooks notify an embedder when a
+// job completes successfully (OnFinish — persist the result) and when a
+// finished job leaves the manager (OnEvict — delete the persisted record),
+// and Restore re-registers a previously finished job at boot so results
+// survive restarts. The manager itself never touches disk.
 package jobs
 
 import (
@@ -133,6 +139,15 @@ func (j *Job) Info() Info {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// Timeline returns the job's start and finish times (zero values while the
+// job has not reached them) — the bookkeeping a persisted job record needs
+// to reproduce run_ms across restarts.
+func (j *Job) Timeline() (started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.started, j.finished
+}
+
 // Result returns the job's outcome: the function's return value once done,
 // its error once failed, ErrNotFinished before either.
 func (j *Job) Result() (any, error) {
@@ -173,6 +188,17 @@ type Stats struct {
 	Cancelled int64 `json:"cancelled"`
 }
 
+// Hooks are the manager's persistence seam. Both callbacks are invoked
+// outside the manager's locks and may be nil. OnFinish fires when a job
+// completes successfully (StateDone — failed and cancelled jobs are not
+// worth a disk write, their error is in the status); OnEvict fires when a
+// finished job leaves the manager, whether by retention, by DELETE, or by
+// a Restore displaced at boot.
+type Hooks struct {
+	OnFinish func(j *Job, result any)
+	OnEvict  func(id string)
+}
+
 // Manager tracks jobs: admission (bounded unfinished jobs), execution
 // (bounded concurrency via run slots), cancellation, and retention of
 // finished jobs (LRU by finish time, so recent results stay pollable).
@@ -180,6 +206,7 @@ type Manager struct {
 	maxPending int
 	retain     int
 	runSem     chan struct{}
+	hooks      Hooks
 
 	launched, completed, failed, cancelled atomic.Int64
 
@@ -209,6 +236,73 @@ func NewManager(maxRunning, maxPending, retain int) *Manager {
 		runSem:     make(chan struct{}, maxRunning),
 		byID:       make(map[string]*Job),
 		order:      list.New(),
+	}
+}
+
+// SetHooks installs the persistence callbacks. Call it before the first
+// Launch/Restore — it is not synchronized against running jobs.
+func (m *Manager) SetHooks(h Hooks) { m.hooks = h }
+
+// Restore re-registers a previously finished successful job — the
+// warm-start path for persisted results. The job appears exactly as it did
+// the moment it finished: state done, progress 1, original timeline, the
+// given result. Restores count into the retention bound (evicting the
+// oldest finished jobs, with OnEvict fired for each), so restore oldest
+// first. A duplicate ID is refused.
+func (m *Manager) Restore(id, label, owner string, created, started, finished time.Time, result any) (*Job, bool) {
+	done := make(chan struct{})
+	close(done)
+	j := &Job{
+		ID:       id,
+		Label:    label,
+		Owner:    owner,
+		Created:  created,
+		cancel:   func() {},
+		done:     done,
+		state:    StateDone,
+		stage:    "done",
+		progress: 1,
+		started:  started,
+		finished: finished,
+		result:   result,
+	}
+	m.mu.Lock()
+	if _, dup := m.byID[id]; dup {
+		m.mu.Unlock()
+		return nil, false
+	}
+	j.elem = m.order.PushFront(j)
+	m.byID[id] = j
+	m.finished = append(m.finished, j)
+	evicted := m.applyRetentionLocked()
+	m.mu.Unlock()
+	m.notifyEvicted(evicted)
+	return j, true
+}
+
+// applyRetentionLocked evicts the oldest finished jobs until the retention
+// bound holds, returning the evicted IDs. Callers hold m.mu.
+func (m *Manager) applyRetentionLocked() []string {
+	var evicted []string
+	for len(m.finished) > m.retain {
+		old := m.finished[0]
+		m.finished = m.finished[1:]
+		if m.byID[old.ID] == old {
+			delete(m.byID, old.ID)
+			m.order.Remove(old.elem)
+			evicted = append(evicted, old.ID)
+		}
+	}
+	return evicted
+}
+
+// notifyEvicted fires OnEvict for each ID, outside the manager lock.
+func (m *Manager) notifyEvicted(ids []string) {
+	if m.hooks.OnEvict == nil {
+		return
+	}
+	for _, id := range ids {
+		m.hooks.OnEvict(id)
 	}
 }
 
@@ -309,19 +403,18 @@ func (m *Manager) finish(j *Job, result any, err error) {
 	// A Delete can evict the job between the state transition above and
 	// this registration (it sees the terminal state the moment j.mu is
 	// released). Re-appending an evicted job would leave an unreachable
-	// ghost occupying a retention slot — honour the eviction instead.
-	if m.byID[j.ID] == j {
+	// ghost occupying a retention slot — honour the eviction instead (and
+	// skip the persistence hook: the job is already observably gone).
+	tracked := m.byID[j.ID] == j
+	if tracked {
 		m.finished = append(m.finished, j)
 	}
-	for len(m.finished) > m.retain {
-		old := m.finished[0]
-		m.finished = m.finished[1:]
-		if m.byID[old.ID] == old {
-			delete(m.byID, old.ID)
-			m.order.Remove(old.elem)
-		}
-	}
+	evicted := m.applyRetentionLocked()
 	m.mu.Unlock()
+	if tracked && err == nil && m.hooks.OnFinish != nil {
+		m.hooks.OnFinish(j, result)
+	}
+	m.notifyEvicted(evicted)
 }
 
 // Get returns the job for id.
@@ -376,6 +469,7 @@ func (m *Manager) Delete(id string) (j *Job, cancelled bool, err error) {
 			}
 		}
 		m.mu.Unlock()
+		m.notifyEvicted([]string{id})
 		return j, false, nil
 	}
 	// Still active: deliver the cancellation before the job can transition

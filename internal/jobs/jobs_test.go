@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -390,5 +391,137 @@ func TestListNewestFirst(t *testing.T) {
 		if j.ID != want[i] {
 			t.Fatalf("list order %d: got %s want %s", i, j.ID, want[i])
 		}
+	}
+}
+
+func TestHooksFireOnFinishAndEvict(t *testing.T) {
+	m := NewManager(1, 8, 2)
+	var mu sync.Mutex
+	var finished, evicted []string
+	m.SetHooks(Hooks{
+		OnFinish: func(j *Job, result any) {
+			mu.Lock()
+			finished = append(finished, j.ID)
+			mu.Unlock()
+			if result != "res" {
+				t.Errorf("OnFinish result = %v", result)
+			}
+		},
+		OnEvict: func(id string) {
+			mu.Lock()
+			evicted = append(evicted, id)
+			mu.Unlock()
+		},
+	})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := m.Launch("n", func(ctx context.Context, progress ProgressFunc) (any, error) {
+			return "res", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait(t, j)
+		ids = append(ids, j.ID)
+	}
+	// Hook calls happen after Done closes but outside the locks; give the
+	// third finish a moment to apply retention.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		f, e := len(finished), len(evicted)
+		mu.Unlock()
+		if f == 3 && e == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hooks: finished=%d evicted=%d, want 3 and 1", f, e)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	if evicted[0] != ids[0] {
+		t.Fatalf("evicted %s, want oldest %s", evicted[0], ids[0])
+	}
+	mu.Unlock()
+
+	// A failed job persists nothing.
+	j, err := m.Launch("n", func(ctx context.Context, progress ProgressFunc) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	mu.Lock()
+	if len(finished) != 3 {
+		t.Fatalf("failed job fired OnFinish: %v", finished)
+	}
+	mu.Unlock()
+
+	// Deleting a finished job fires OnEvict.
+	if _, cancelled, err := m.Delete(ids[2]); err != nil || cancelled {
+		t.Fatalf("Delete = cancelled %v err %v", cancelled, err)
+	}
+	mu.Lock()
+	found := false
+	for _, id := range evicted {
+		if id == ids[2] {
+			found = true
+		}
+	}
+	mu.Unlock()
+	if !found {
+		t.Fatal("Delete of a finished job did not fire OnEvict")
+	}
+}
+
+func TestRestoreRevivesFinishedJob(t *testing.T) {
+	m := NewManager(1, 8, 2)
+	var mu sync.Mutex
+	var evicted []string
+	m.SetHooks(Hooks{OnEvict: func(id string) {
+		mu.Lock()
+		evicted = append(evicted, id)
+		mu.Unlock()
+	}})
+
+	created := time.Unix(1700000000, 0).UTC()
+	started := created.Add(time.Second)
+	finished := started.Add(1500 * time.Millisecond)
+	j, ok := m.Restore("j-00000000000000aa", "eval", "alice", created, started, finished, "payload")
+	if !ok {
+		t.Fatal("Restore refused a fresh ID")
+	}
+	info := j.Info()
+	if info.State != StateDone || info.Progress != 1 || info.Owner != "alice" || info.RunMS != 1500 {
+		t.Fatalf("restored info = %+v", info)
+	}
+	res, err := j.Result()
+	if err != nil || res != "payload" {
+		t.Fatalf("restored result = %v, %v", res, err)
+	}
+	got, ok := m.Get(j.ID)
+	if !ok || got != j {
+		t.Fatal("restored job not reachable by ID")
+	}
+
+	// A duplicate ID is refused.
+	if _, ok := m.Restore(j.ID, "eval", "alice", created, started, finished, nil); ok {
+		t.Fatal("duplicate restore accepted")
+	}
+
+	// Restores participate in retention: the third (restored oldest-first)
+	// evicts the first, firing OnEvict.
+	m.Restore("j-00000000000000ab", "eval", "", created, started, finished, 1)
+	m.Restore("j-00000000000000ac", "eval", "", created, started, finished, 2)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 1 || evicted[0] != "j-00000000000000aa" {
+		t.Fatalf("retention over restores evicted %v, want the oldest", evicted)
+	}
+	if st := m.Stats(); st.Retained != 2 || st.Launched != 0 {
+		t.Fatalf("stats after restores = %+v", st)
 	}
 }

@@ -58,6 +58,39 @@ func PlanRelease(n, k int, gamma, eps0, perRecordDelta, slack float64) (*Release
 	return plan, nil
 }
 
+// ReleaseCount is one line of a release history: Records synthetic records
+// drawn through the randomized mechanism with parameters (K, Gamma, Eps0).
+type ReleaseCount struct {
+	Records int
+	K       int
+	Gamma   float64
+	Eps0    float64
+}
+
+// LifetimeSpend totals the (ε, δ) cost of a heterogeneous release history:
+// within each (k, γ, ε0) tuple the n releases compose via the better of
+// sequential and advanced composition (PlanRelease.Best), and the
+// per-tuple totals compose sequentially across tuples (Budget.Add — the
+// homogeneous theorems do not apply across differing mechanisms). Tuples
+// with zero records cost nothing. A tuple whose parameters admit no
+// feasible t is an error: its cost cannot be bounded, so a caller
+// enforcing a budget must refuse the release rather than under-count it.
+func LifetimeSpend(history []ReleaseCount, perRecordDelta, slack float64) (Budget, error) {
+	var total Budget
+	for _, h := range history {
+		if h.Records <= 0 {
+			continue
+		}
+		plan, err := PlanRelease(h.Records, h.K, h.Gamma, h.Eps0, perRecordDelta, slack)
+		if err != nil {
+			return Budget{}, fmt.Errorf("privacy: lifetime spend of %d records at (k=%d, γ=%g, ε0=%g): %w",
+				h.Records, h.K, h.Gamma, h.Eps0, err)
+		}
+		total = total.Add(plan.Best)
+	}
+	return total, nil
+}
+
 // MaxRecordsForBudget returns the largest number of records releasable with
 // mechanism parameters (k, γ, ε0) while keeping the total budget within
 // (maxEps, maxDelta) under the better of sequential and advanced

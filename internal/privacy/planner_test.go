@@ -84,6 +84,58 @@ func TestMaxRecordsForBudgetMonotone(t *testing.T) {
 	}
 }
 
+func TestLifetimeSpend(t *testing.T) {
+	// An empty (or all-zero) history costs nothing.
+	if b, err := LifetimeSpend(nil, 1e-9, 1e-9); err != nil || b.Epsilon != 0 || b.Delta != 0 {
+		t.Fatalf("empty history = %v, %v", b, err)
+	}
+	if b, err := LifetimeSpend([]ReleaseCount{{Records: 0, K: 50, Gamma: 4, Eps0: 1}}, 1e-9, 1e-9); err != nil || b.Epsilon != 0 {
+		t.Fatalf("zero-record history = %v, %v", b, err)
+	}
+
+	// A single tuple matches PlanRelease.Best exactly.
+	plan, err := PlanRelease(100, 50, 4, 1, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := LifetimeSpend([]ReleaseCount{{Records: 100, K: 50, Gamma: 4, Eps0: 1}}, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != plan.Best {
+		t.Fatalf("single tuple spend %v != plan best %v", one, plan.Best)
+	}
+
+	// Two tuples compose sequentially: ε and δ sum.
+	plan2, err := PlanRelease(40, 100, 4, 0.5, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := LifetimeSpend([]ReleaseCount{
+		{Records: 100, K: 50, Gamma: 4, Eps0: 1},
+		{Records: 40, K: 100, Gamma: 4, Eps0: 0.5},
+	}, 1e-9, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Best.Add(plan2.Best)
+	if math.Abs(both.Epsilon-want.Epsilon) > 1e-12 || math.Abs(both.Delta-want.Delta) > 1e-18 {
+		t.Fatalf("two-tuple spend %v != %v", both, want)
+	}
+	if !want.Within(want.Epsilon, want.Delta) || want.Within(want.Epsilon/2, want.Delta) {
+		t.Fatal("Budget.Within misbehaves")
+	}
+
+	// A tuple with no feasible t poisons the whole history: the caller must
+	// refuse, never under-count.
+	if _, err := LifetimeSpend([]ReleaseCount{
+		{Records: 100, K: 50, Gamma: 4, Eps0: 1},
+		{Records: 1, K: 3, Gamma: 4, Eps0: 0.001},
+	}, 1e-9, 1e-9); err == nil {
+		t.Fatal("unaccountable tuple accepted")
+	}
+}
+
 func TestMaxRecordsZeroWhenImpossible(t *testing.T) {
 	// One record already costs ε ≈ 1+ln(1+γ/t) > 0.1.
 	if n := MaxRecordsForBudget(50, 4, 1, 1e-9, 1e-9, 0.1, 1e-5); n != 0 {

@@ -23,6 +23,20 @@ func (b Budget) String() string {
 	return fmt.Sprintf("(ε=%.4g, δ=%.3g)", b.Epsilon, b.Delta)
 }
 
+// Add composes two independent guarantees sequentially: ε and δ sum (basic
+// composition, Theorem 4 of Appendix A). The serving layer uses it to total
+// a tenant's lifetime spend across releases made with different mechanism
+// parameters, where the homogeneous composition theorems do not apply.
+func (b Budget) Add(o Budget) Budget {
+	return Budget{Epsilon: b.Epsilon + o.Epsilon, Delta: b.Delta + o.Delta}
+}
+
+// Within reports whether the guarantee fits inside a budget cap: both ε and
+// δ at or under the cap.
+func (b Budget) Within(maxEps, maxDelta float64) bool {
+	return b.Epsilon <= maxEps && b.Delta <= maxDelta
+}
+
 // Laplace applies the Laplace mechanism: it returns value + Lap(sens/eps).
 // This is Theorem 3.6 of Dwork–Roth, used throughout §3.3.1 and §3.4.1.
 // It panics if sens or eps is non-positive.

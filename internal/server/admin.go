@@ -43,17 +43,25 @@ type listResponse struct {
 }
 
 // storeStatusJSON describes the snapshot store on /healthz and GET
-// /v1/models.
+// /v1/models. Ledger flush errors are reported apart from snapshot save
+// errors: a model that failed to persist refits on restart, a ledger that
+// failed to flush under-counts released records — a privacy-accounting
+// problem an operator must be able to see distinctly.
 type storeStatusJSON struct {
-	Enabled       bool   `json:"enabled"`
-	Snapshots     int    `json:"snapshots"`
-	Bytes         int64  `json:"bytes"`
-	Loads         int64  `json:"loads"`
-	LoadErrors    int64  `json:"load_errors"`
-	Saves         int64  `json:"saves"`
-	SaveErrors    int64  `json:"save_errors"`
-	LastLoadError string `json:"last_load_error,omitempty"`
-	LastSaveError string `json:"last_save_error,omitempty"`
+	Enabled         bool   `json:"enabled"`
+	FormatVersion   int    `json:"format_version"`
+	Snapshots       int    `json:"snapshots"`
+	Bytes           int64  `json:"bytes"`
+	JobRecords      int    `json:"job_records"`
+	Loads           int64  `json:"loads"`
+	LoadErrors      int64  `json:"load_errors"`
+	Saves           int64  `json:"saves"`
+	SaveErrors      int64  `json:"save_errors"`
+	LedgerSaves     int64  `json:"ledger_saves"`
+	LedgerErrors    int64  `json:"ledger_errors"`
+	LastLoadError   string `json:"last_load_error,omitempty"`
+	LastSaveError   string `json:"last_save_error,omitempty"`
+	LastLedgerError string `json:"last_ledger_error,omitempty"`
 }
 
 // storeStatus summarizes the store for /healthz and listings.
@@ -63,15 +71,20 @@ func (s *Server) storeStatus() *storeStatusJSON {
 	}
 	st := s.store.Stats()
 	return &storeStatusJSON{
-		Enabled:       true,
-		Snapshots:     st.Count,
-		Bytes:         st.Bytes,
-		Loads:         st.Loads,
-		LoadErrors:    st.LoadErrors,
-		Saves:         st.Saves,
-		SaveErrors:    st.SaveErrors,
-		LastLoadError: st.LastLoadError,
-		LastSaveError: st.LastSaveError,
+		Enabled:         true,
+		FormatVersion:   store.Version,
+		Snapshots:       st.Count,
+		Bytes:           st.Bytes,
+		JobRecords:      st.JobRecords,
+		Loads:           st.Loads,
+		LoadErrors:      st.LoadErrors,
+		Saves:           st.Saves,
+		SaveErrors:      st.SaveErrors,
+		LedgerSaves:     st.LedgerSaves,
+		LedgerErrors:    st.LedgerErrors,
+		LastLoadError:   st.LastLoadError,
+		LastSaveError:   st.LastSaveError,
+		LastLedgerError: st.LastLedgerError,
 	}
 }
 
@@ -194,9 +207,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request, tn *tenant
 		writeError(w, http.StatusConflict, "model %s is being deleted; retry", snap.ID)
 		return
 	}
-	if tn != nil {
-		entry.AddOwner(tn.Name)
-	}
+	s.recordOwner(entry, tn)
 	status := http.StatusCreated
 	if !fresh {
 		status = http.StatusOK

@@ -144,6 +144,18 @@ func jobOwner(tn *tenant.Identity) string {
 	return tn.Name
 }
 
+// recordOwner attributes a model to the requesting tenant and — when the
+// owner set actually grew and persistence is on — schedules the snapshot
+// rewrite through the statelog, so the ownership survives a restart.
+func (s *Server) recordOwner(entry *ModelEntry, tn *tenant.Identity) {
+	if tn == nil {
+		return
+	}
+	if entry.AddOwner(tn.Name) && s.statelog != nil {
+		s.statelog.NoteModelOwner(entry.ID)
+	}
+}
+
 // acquireWorkers obtains generation workers for a request: it reserves
 // against the tenant's worker-grant quota first (when authentication is
 // on), then draws from the shared pool, and folds both releases into one.

@@ -159,9 +159,13 @@ func TestAuthMatrix(t *testing.T) {
 	if got := status(t, do(t, http.MethodDelete, ts.URL+"/v1/models/m-0123456789abcdef", keyCarol, nil)); got != http.StatusForbidden {
 		t.Errorf("reader DELETE model = %d, want 403", got)
 	}
-	// Writer hitting an admin route: 403.
-	if got := status(t, do(t, http.MethodDelete, ts.URL+"/v1/jobs/j-0123456789abcdef", keyAlice, nil)); got != http.StatusForbidden {
-		t.Errorf("writer DELETE job = %d, want 403", got)
+	// Reader hitting the writer-gated job DELETE: 403. A writer passes the
+	// role gate but an unknown (or another tenant's) job reads as 404.
+	if got := status(t, do(t, http.MethodDelete, ts.URL+"/v1/jobs/j-0123456789abcdef", keyCarol, nil)); got != http.StatusForbidden {
+		t.Errorf("reader DELETE job = %d, want 403", got)
+	}
+	if got := status(t, do(t, http.MethodDelete, ts.URL+"/v1/jobs/j-0123456789abcdef", keyAlice, nil)); got != http.StatusNotFound {
+		t.Errorf("writer DELETE unknown job = %d, want 404", got)
 	}
 	// Reader on a reader route: fine.
 	if got := status(t, do(t, http.MethodGet, ts.URL+"/v1/jobs", keyCarol, nil)); got != http.StatusOK {

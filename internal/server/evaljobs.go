@@ -10,6 +10,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/eval"
 	"repro/internal/jobs"
+	"repro/internal/store"
 	"repro/internal/tenant"
 )
 
@@ -34,6 +35,63 @@ const (
 	maxEvalSynthPer     = 100_000
 	maxEvalSectionUnits = 1_000_000 // per-section workload knobs (probes, candidates, samples)
 )
+
+// jobRecord renders a finished job as its persistent form — the statelog's
+// resolver. It returns false when the job is gone (evicted while the put
+// was queued), unfinished, failed, or holds something other than a suite
+// result; in every such case there is nothing worth persisting.
+func (s *Server) jobRecord(id string) (*store.JobRecord, bool) {
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		return nil, false
+	}
+	res, err := j.Result()
+	if err != nil {
+		return nil, false
+	}
+	suite, ok := res.(*eval.SuiteResult)
+	if !ok {
+		return nil, false
+	}
+	raw, err := json.Marshal(suite)
+	if err != nil {
+		return nil, false
+	}
+	started, finished := j.Timeline()
+	return &store.JobRecord{
+		ID:       j.ID,
+		Label:    j.Label,
+		Owner:    j.Owner,
+		Created:  j.Created,
+		Started:  started,
+		Finished: finished,
+		Result:   raw,
+	}, true
+}
+
+// restoreJobs revives persisted finished-job results into the job manager
+// at boot, oldest first so retention evicts the right end if more records
+// survive on disk than the retention bound admits. A record whose result
+// no longer unmarshals (a schema change across versions) is deleted rather
+// than served wrong or crashed on.
+func (s *Server) restoreJobs() int {
+	restored := 0
+	for _, id := range s.store.JobIDs() {
+		rec, err := s.store.GetJob(id)
+		if err != nil || rec.Label != "eval" {
+			continue
+		}
+		var suite eval.SuiteResult
+		if err := json.Unmarshal(rec.Result, &suite); err != nil {
+			_ = s.store.DeleteJob(id)
+			continue
+		}
+		if _, ok := s.jobs.Restore(rec.ID, rec.Label, rec.Owner, rec.Created, rec.Started, rec.Finished, &suite); ok {
+			restored++
+		}
+	}
+	return restored
+}
 
 // evalAccepted answers POST /v1/eval and DELETE of an active job.
 type evalAccepted struct {
@@ -239,7 +297,17 @@ func (s *Server) handleJobResult(w http.ResponseWriter, _ *http.Request, id stri
 // what it deleted). The manager decides atomically, so a job that finishes
 // concurrently with the DELETE is still evicted — deleting a finished job
 // always deletes it, never answers with a stale "cancelling".
-func (s *Server) handleJobDelete(w http.ResponseWriter, _ *http.Request, id string) {
+//
+// Writers may delete their own jobs; admins any job. Another tenant's job
+// reads as 404, indistinguishable from a job that does not exist — the
+// ownership probe is side-effect free (Get), so a denied DELETE can never
+// cancel or evict anything. Owner is immutable, so the job resolved by the
+// probe is the job Delete acts on (IDs are crypto-random, never reused).
+func (s *Server) handleJobDelete(w http.ResponseWriter, _ *http.Request, id string, tn *tenant.Identity) {
+	if j, ok := s.jobs.Get(id); !ok || !canSeeJob(tn, j.Owner) {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
 	job, cancelled, err := s.jobs.Delete(id)
 	switch {
 	case errors.Is(err, jobs.ErrUnknownJob):

@@ -17,6 +17,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/tenant"
 )
 
@@ -206,9 +207,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request, tn *tenant.Id
 	key := hex.EncodeToString(hash.Sum(nil))
 
 	if entry, ok := s.reg.Lookup(key); ok {
-		if tn != nil {
-			entry.AddOwner(tn.Name)
-		}
+		s.recordOwner(entry, tn)
 		state, _ := entry.State()
 		writeJSON(w, http.StatusOK, fitResponse{
 			ID: entry.ID, State: state, Cached: true, Rows: entry.Rows, Clean: entry.Clean,
@@ -252,9 +251,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request, tn *tenant.Id
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
-	if tn != nil {
-		entry.AddOwner(tn.Name)
-	}
+	s.recordOwner(entry, tn)
 	state, _ := entry.State()
 	status := http.StatusAccepted
 	if cached {
@@ -357,6 +354,28 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 		req.Gamma = 4
 	}
 
+	// Lifetime privacy-budget admission. Every release is accounted in the
+	// per-tenant ledger; with a budget configured, a request that would push
+	// the tenant's composed lifetime (ε, δ) past it is refused here — before
+	// the model wait, the worker grant, or any generation work is committed.
+	// The reservation covers the requested count so concurrent streams
+	// cannot both squeeze through the same remaining budget; settle moves
+	// what was actually delivered into durable spend.
+	budgetEps, budgetDelta := s.effectiveBudget(tn)
+	settle, aerr := s.ledger.admit(jobOwner(tn), req.K, req.Gamma, req.Eps0, req.Records, budgetEps, budgetDelta)
+	if aerr != nil {
+		s.metrics.BudgetDenied()
+		writeError(w, http.StatusForbidden, "%v", aerr)
+		return
+	}
+	delivered := 0
+	defer func() {
+		settle(delivered)
+		if delivered > 0 && s.statelog != nil {
+			s.statelog.NoteLedger()
+		}
+	}()
+
 	ctx := r.Context()
 	s.metrics.SynthesizeStart()
 	defer s.metrics.SynthesizeDone()
@@ -416,7 +435,6 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	enc := newRecordEncoder(meta)
 	rc := http.NewResponseController(w)
 	var buf bytes.Buffer
-	delivered := 0
 	stats, err := sgf.GenerateTargetStream(ctx, mech, opts.Records, opts.MaxCandidates, granted, opts.Seed, func(batch []dataset.Record) error {
 		buf.Reset()
 		for _, rec := range batch {
@@ -512,6 +530,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"store":            s.storeStatus(),
 		"jobs":             s.jobs.Stats(),
 		"auth":             auth,
+		"privacy_ledger": map[string]any{
+			// enforced reports the server-wide default only; per-tenant
+			// key-file overrides can enable enforcement for individual
+			// tenants even when this is false.
+			"enforced":       s.cfg.TenantBudgetEps > 0,
+			"budget_eps":     s.cfg.TenantBudgetEps,
+			"budget_delta":   s.cfg.TenantBudgetDelta,
+			"records_total":  s.ledger.recordsTotal(),
+			"durable":        s.store != nil,
+			"format_version": store.Version,
+		},
 	})
 }
 
@@ -523,6 +552,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Auth != nil {
 		writeTenantMetrics(w, s.cfg.Auth.Snapshot())
 	}
+	writeLedgerMetrics(w, s.ledger.stats())
 	if s.store != nil {
 		s.store.WriteMetrics(w)
 	}

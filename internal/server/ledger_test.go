@@ -1,0 +1,170 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestLedgerAdmitSettleAndSnapshot(t *testing.T) {
+	l := newLedger()
+
+	// Enforcement off (maxEps 0): everything admits, counts still accrue.
+	settle, err := l.admit("alice", 50, 4, 1, 25, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settle(25)
+	settle(99) // settle is once-only; a second call must not double-charge
+	if got := l.recordsTotal(); got != 25 {
+		t.Fatalf("recordsTotal = %d, want 25", got)
+	}
+
+	// Snapshot → restore round trip.
+	snap := l.snapshot()
+	if len(snap.Entries) != 1 || snap.Entries[0].Tenant != "alice" || snap.Entries[0].Records != 25 {
+		t.Fatalf("snapshot = %+v", snap.Entries)
+	}
+	l2 := newLedger()
+	l2.restore(snap)
+	if got := l2.recordsTotal(); got != 25 {
+		t.Fatalf("restored recordsTotal = %d, want 25", got)
+	}
+
+	// Stats are per tenant and name-sorted.
+	s2, _ := l.admit("bob", 50, 4, 1, 5, 0, 0)
+	s2(5)
+	st := l.stats()
+	if len(st) != 2 || st[0].Tenant != "alice" || st[0].Records != 25 || st[1].Tenant != "bob" || st[1].Records != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLedgerBudgetEnforcement(t *testing.T) {
+	l := newLedger()
+	// k=50, γ=4, ε0=1, δ=1e-6: per-record ε ≈ 1.11, so ε=5 admits 4 records
+	// lifetime.
+	const eps, delta = 5, 1e-6
+
+	settle, err := l.admit("a", 50, 4, 1, 3, eps, delta)
+	if err != nil {
+		t.Fatalf("first release refused: %v", err)
+	}
+
+	// While the 3 are still reserved (stream in flight), a request that
+	// would overflow the budget with the reservation counted is refused —
+	// two concurrent streams cannot share the same remaining headroom.
+	if _, err := l.admit("a", 50, 4, 1, 3, eps, delta); err == nil {
+		t.Fatal("overlapping reservation admitted past the budget")
+	}
+	settle(3)
+
+	// Spent 3 of ~4: one more fits, three more do not.
+	s2, err := l.admit("a", 50, 4, 1, 1, eps, delta)
+	if err != nil {
+		t.Fatalf("release within budget refused: %v", err)
+	}
+	s2(1)
+	if _, err := l.admit("a", 50, 4, 1, 3, eps, delta); err == nil {
+		t.Fatal("release past the budget admitted")
+	} else if !strings.Contains(err.Error(), "lifetime privacy budget") {
+		t.Fatalf("denial message = %v", err)
+	}
+
+	// Another tenant's budget is its own.
+	if _, err := l.admit("b", 50, 4, 1, 3, eps, delta); err != nil {
+		t.Fatalf("tenant b refused on tenant a's spend: %v", err)
+	}
+
+	// Unaccountable parameters (deterministic test, γ ≤ 1, absurd k) are
+	// refused under enforcement, admitted (and only counted) without it.
+	for _, bad := range []struct {
+		k           int
+		gamma, eps0 float64
+	}{
+		{50, 4, 0},                  // deterministic test: no (ε, δ) guarantee
+		{50, 1, 1},                  // γ ≤ 1
+		{1, 4, 1},                   // no trade-off parameter
+		{maxAccountableK + 1, 4, 1}, // t search would be unbounded CPU
+	} {
+		if _, err := l.admit("a", bad.k, bad.gamma, bad.eps0, 1, eps, delta); err == nil {
+			t.Errorf("unaccountable tuple %+v admitted under enforcement", bad)
+		}
+		if settle, err := l.admit("a", bad.k, bad.gamma, bad.eps0, 1, 0, 0); err != nil {
+			t.Errorf("tuple %+v refused without enforcement: %v", bad, err)
+		} else {
+			settle(1)
+		}
+	}
+
+	// Denials are counted per tenant.
+	for _, st := range l.stats() {
+		if st.Tenant == "a" {
+			if st.Denied < 2 {
+				t.Fatalf("tenant a denied = %d, want >= 2", st.Denied)
+			}
+			if st.EpsSpent <= 0 || st.EpsSpent > eps {
+				t.Fatalf("tenant a eps spent = %g, want in (0, %g]", st.EpsSpent, float64(eps))
+			}
+		}
+	}
+
+	// Unaccountable historical tuples (counted while enforcement was off)
+	// do not brick the accountable budget math.
+	if settle, err := l.admit("a", 50, 4, 1, 0, eps, delta); err != nil {
+		t.Fatalf("zero-record probe refused after unaccountable history: %v", err)
+	} else {
+		settle(0)
+	}
+}
+
+func TestLedgerTupleCardinalityBounded(t *testing.T) {
+	l := newLedger()
+	// A client cycling unique ε0 values must not grow the account without
+	// bound: past the cap, enforcement-off releases fold into one overflow
+	// row (records still counted)...
+	for i := 0; i < maxLedgerTuples+40; i++ {
+		settle, err := l.admit("a", 50, 4, 1+float64(i)/1e6, 1, 0, 0)
+		if err != nil {
+			t.Fatalf("tuple %d refused without enforcement: %v", i, err)
+		}
+		settle(1)
+	}
+	if got := l.recordsTotal(); got != int64(maxLedgerTuples+40) {
+		t.Fatalf("recordsTotal = %d, want %d (overflow records must stay counted)", got, maxLedgerTuples+40)
+	}
+	if rows := len(l.snapshot().Entries); rows > maxLedgerTuples+1 { // +1: the overflow row
+		t.Fatalf("account holds %d rows, want <= %d", rows, maxLedgerTuples+1)
+	}
+	// ...and under enforcement a new tuple at the cap is refused outright,
+	// with the cap named (not a budget-exhaustion message).
+	if _, err := l.admit("a", 50, 4, 99, 1, 1000, 1e-6); err == nil {
+		t.Fatal("new tuple admitted past the cardinality cap under enforcement")
+	} else if !strings.Contains(err.Error(), "distinct release-parameter tuples") {
+		t.Fatalf("cap denial message = %v", err)
+	}
+	// An already-known tuple does not fold into the overflow row: its own
+	// count keeps accruing.
+	rows := len(l.snapshot().Entries)
+	settle, err := l.admit("a", 50, 4, 1.000001, 1, 0, 0)
+	if err != nil {
+		t.Fatalf("known tuple refused at the cap: %v", err)
+	}
+	settle(1)
+	if got := len(l.snapshot().Entries); got != rows {
+		t.Fatalf("known-tuple release grew the row count %d -> %d", rows, got)
+	}
+}
+
+func TestLedgerRestoredSpendEnforces(t *testing.T) {
+	l := newLedger()
+	l.restore(&store.Ledger{Entries: []store.LedgerEntry{
+		{Tenant: "a", K: 50, Gamma: 4, Eps0: 1, Records: 4},
+	}})
+	// The restored 4 records exhaust the ε=5 budget: the next release is
+	// refused purely on persisted history.
+	if _, err := l.admit("a", 50, 4, 1, 1, 5, 1e-6); err == nil {
+		t.Fatal("restored spend not enforced")
+	}
+}

@@ -28,6 +28,7 @@ type Metrics struct {
 	modelsFailed       int64
 	modelsEvicted      int64
 	cacheHits          int64
+	budgetDenied       int64
 }
 
 // NewMetrics returns a zeroed metrics registry.
@@ -65,6 +66,10 @@ func (m *Metrics) ModelFitted()  { atomic.AddInt64(&m.modelsFitted, 1) }
 func (m *Metrics) ModelFailed()  { atomic.AddInt64(&m.modelsFailed, 1) }
 func (m *Metrics) ModelEvicted() { atomic.AddInt64(&m.modelsEvicted, 1) }
 func (m *Metrics) CacheHit()     { atomic.AddInt64(&m.cacheHits, 1) }
+
+// BudgetDenied records a synthesize request refused by the lifetime
+// privacy budget (403).
+func (m *Metrics) BudgetDenied() { atomic.AddInt64(&m.budgetDenied, 1) }
 
 // RecordsReleased returns the total number of synthetic records released.
 func (m *Metrics) RecordsReleased() int64 { return atomic.LoadInt64(&m.recordsReleased) }
@@ -125,6 +130,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		atomic.LoadInt64(&m.modelsEvicted))
 	add("# TYPE sgfd_model_cache_hits_total counter\nsgfd_model_cache_hits_total %d\n",
 		atomic.LoadInt64(&m.cacheHits))
+	add("# TYPE sgfd_privacy_budget_denied_total counter\nsgfd_privacy_budget_denied_total %d\n",
+		atomic.LoadInt64(&m.budgetDenied))
 
 	n, err := w.Write(b)
 	return int64(n), err
@@ -169,6 +176,32 @@ func writeTenantMetrics(w io.Writer, tenants []tenant.Stats) (int64, error) {
 	add("# TYPE sgfd_tenant_workers_in_flight gauge\n")
 	for _, t := range tenants {
 		add("sgfd_tenant_workers_in_flight{tenant=%q} %d\n", t.Name, t.WorkersInUse)
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// writeLedgerMetrics renders the per-tenant privacy-ledger counters in the
+// Prometheus text exposition format. The numbers come from the ledger (its
+// accounting is the source of truth); this helper only formats them. The
+// snapshot is name-sorted, so the series order is stable scrape to scrape.
+// The anonymous account (authentication disabled) exports as tenant="".
+func writeLedgerMetrics(w io.Writer, stats []ledgerStat) (int64, error) {
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	add("# TYPE sgfd_tenant_privacy_budget_records_total counter\n")
+	for _, t := range stats {
+		add("sgfd_tenant_privacy_budget_records_total{tenant=%q} %d\n", t.Tenant, t.Records)
+	}
+	add("# TYPE sgfd_tenant_privacy_budget_denied_total counter\n")
+	for _, t := range stats {
+		add("sgfd_tenant_privacy_budget_denied_total{tenant=%q} %d\n", t.Tenant, t.Denied)
+	}
+	add("# TYPE sgfd_tenant_privacy_budget_eps_spent gauge\n")
+	for _, t := range stats {
+		add("sgfd_tenant_privacy_budget_eps_spent{tenant=%q} %g\n", t.Tenant, t.EpsSpent)
 	}
 	n, err := w.Write(b)
 	return int64(n), err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -73,27 +74,37 @@ type ModelEntry struct {
 	// owners names the tenants that registered this model (fit, cache-hit
 	// re-fit, or import). Models are content-addressed, so two tenants
 	// uploading identical data share one entry and both own it — each
-	// already holds the data, so co-ownership reveals nothing. Ownership is
-	// in-memory only: models revived from a snapshot start unowned
-	// (admin-visible) until a tenant re-registers them. nil until the first
-	// owner.
+	// already holds the data, so co-ownership reveals nothing. The set is
+	// persisted with the model's snapshot (format v2) and restored on
+	// warm-start, so a restart preserves tenant isolation instead of
+	// resetting revived models to unowned. nil until the first owner.
 	owners map[string]struct{}
+	// ownersRev counts owner additions; the fit goroutine compares it
+	// across its write-through snapshot to catch owners who arrived while
+	// the snapshot was being written.
+	ownersRev int
 
 	elem *list.Element // LRU position, guarded by the registry lock
 }
 
-// AddOwner records a tenant as an owner of the model. Empty names
+// AddOwner records a tenant as an owner of the model, reporting whether the
+// set grew (the caller's cue to re-persist the snapshot). Empty names
 // (authentication disabled) are ignored.
-func (e *ModelEntry) AddOwner(name string) {
+func (e *ModelEntry) AddOwner(name string) bool {
 	if name == "" {
-		return
+		return false
 	}
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.owners[name]; ok {
+		return false
+	}
 	if e.owners == nil {
 		e.owners = make(map[string]struct{})
 	}
 	e.owners[name] = struct{}{}
-	e.mu.Unlock()
+	e.ownersRev++
+	return true
 }
 
 // OwnedBy reports whether the named tenant registered this model.
@@ -102,6 +113,25 @@ func (e *ModelEntry) OwnedBy(name string) bool {
 	defer e.mu.Unlock()
 	_, ok := e.owners[name]
 	return ok
+}
+
+// Owners returns the owner set, sorted (the snapshot encoding order).
+func (e *ModelEntry) Owners() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ownersLocked()
+}
+
+func (e *ModelEntry) ownersLocked() []string {
+	if len(e.owners) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(e.owners))
+	for o := range e.owners {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // State returns the entry's state and, for StateFailed, the error.
@@ -328,6 +358,14 @@ func (r *Registry) insertSnapshot(snap *store.Snapshot) (e *ModelEntry, fresh bo
 		fitted: snap.Model,
 		fitDur: snap.FitDuration,
 	}
+	if len(snap.Owners) > 0 {
+		// Restore persisted ownership, so a revived model answers to the
+		// tenants that registered it — not to everyone, not to no one.
+		e.owners = make(map[string]struct{}, len(snap.Owners))
+		for _, o := range snap.Owners {
+			e.owners[o] = struct{}{}
+		}
+	}
 	r.mu.Lock()
 	if r.removing[e.ID] > 0 {
 		r.mu.Unlock()
@@ -493,7 +531,8 @@ func (r *Registry) Flush() error {
 	return firstErr
 }
 
-// snapshotFor assembles the persistent form of a ready entry.
+// snapshotFor assembles the persistent form of a ready entry, owner set
+// included.
 func (r *Registry) snapshotFor(e *ModelEntry, fm *sgf.FittedModel) *store.Snapshot {
 	return &store.Snapshot{
 		ID:          e.ID,
@@ -506,8 +545,35 @@ func (r *Registry) snapshotFor(e *ModelEntry, fm *sgf.FittedModel) *store.Snapsh
 		ModelDelta:  e.Opts.ModelDelta,
 		MaxCost:     e.Opts.MaxCost,
 		Seed:        e.Opts.Seed,
+		Owners:      e.Owners(),
 		Model:       fm,
 	}
+}
+
+// persistEntry rewrites a resident ready model's snapshot — the statelog
+// path for ownership changes. retry=true means the entry exists but is not
+// persistable yet (still fitting); the caller should try again later. An
+// absent entry is not an error: it was evicted or removed, and its
+// snapshot went with it.
+func (r *Registry) persistEntry(id string) (retry bool) {
+	if r.store == nil {
+		return false
+	}
+	e, ok := r.Resident(id)
+	if !ok {
+		return false
+	}
+	e.mu.Lock()
+	ready, fm := e.state == StateReady, e.fitted
+	e.mu.Unlock()
+	if !ready {
+		// Still fitting: the fit's write-through (and its owners recheck)
+		// will capture the current set; keep the entry marked in case the
+		// fit loses a photo-finish race with a late AddOwner.
+		return true
+	}
+	_ = r.store.Put(r.snapshotFor(e, fm)) // failure lands in store stats
+	return false
 }
 
 // Open returns the entry for the given cache key, fitting it in the
@@ -566,9 +632,11 @@ func (r *Registry) fit(e *ModelEntry, data *dataset.Dataset, opts sgf.FitOptions
 	// delete the snapshot) until the snapshot exists. A write failure is
 	// recorded in the store's stats and surfaced on /healthz; the model
 	// still serves from memory.
+	ownersAtPut := -1
 	if err == nil && r.store != nil {
 		e.mu.Lock()
 		e.fitDur = dur // snapshotFor reads it under the entry lock
+		ownersAtPut = e.ownersRev
 		e.mu.Unlock()
 		_ = r.store.Put(r.snapshotFor(e, fm))
 	}
@@ -580,8 +648,19 @@ func (r *Registry) fit(e *ModelEntry, data *dataset.Dataset, opts sgf.FitOptions
 	} else {
 		e.state, e.fitted = StateReady, fm
 	}
+	ownersNow := e.ownersRev
 	e.mu.Unlock()
 	close(e.done)
+
+	// Owners who registered between the snapshot write and publication
+	// would otherwise be lost from disk: their AddOwner saw a fitting entry
+	// (so the statelog path did not re-persist) while the snapshot had
+	// already been encoded. Publication happened above, so any *later*
+	// AddOwner observes a ready entry and takes the statelog path; this
+	// recheck closes the window for the earlier ones.
+	if ownersAtPut >= 0 && ownersNow != ownersAtPut {
+		_ = r.store.Put(r.snapshotFor(e, fm))
+	}
 
 	r.mu.Lock()
 	r.pending--

@@ -20,8 +20,9 @@
 //	GET    /v1/jobs/{id}               job status + progress
 //	GET    /v1/jobs/{id}/result        tables/figure series of a done job
 //	DELETE /v1/jobs/{id}               cancel a running job / evict a
-//	                                   finished one
-//	GET    /healthz                    liveness + store/jobs status
+//	                                   finished one (writers their own,
+//	                                   admins any)
+//	GET    /healthz                    liveness + store/jobs/ledger status
 //	GET    /metrics                    Prometheus counters
 //
 // Three pieces make the service safe under load. The model Registry is an
@@ -35,11 +36,19 @@
 // pool happened to grant — so identical requests are reproducible even on a
 // busy server.
 //
-// With Config.StoreDir set, the registry additionally persists every fitted
-// model through internal/store and warm-starts from disk at boot, so a
+// With Config.StoreDir set, all durable server state flows through one
+// write-behind statelog layer into internal/store (snapshot container
+// format v2) and warm-starts from disk at boot: fitted models (so a
 // restarted server answers repeat fit requests — and serves synthesize
-// requests byte-identically — without refitting (the paper's
-// fit-once/synthesize-many split, made durable).
+// requests byte-identically — without refitting), each model's tenant
+// ownership set (so a restart preserves tenant isolation), finished
+// evaluation-job results (so GET /v1/jobs/{id}/result survives restarts),
+// and the per-tenant records-released privacy ledger. The ledger is what
+// makes the served (ε, δ) accounting honest across restarts: the paper's
+// end-to-end guarantee composes over every record a tenant has *ever*
+// drawn, and with Config.TenantBudgetEps set (or per-tenant key-file
+// budgets) a tenant past its lifetime budget gets 403 before any
+// generation work is admitted.
 //
 // With Config.Auth set, the server is multi-tenant: every /v1/* request
 // must present a configured API key (401 otherwise), routes are gated by
@@ -53,6 +62,7 @@
 package server
 
 import (
+	"errors"
 	"log"
 	"net/http"
 	"strings"
@@ -104,6 +114,17 @@ type Config struct {
 	// to their owning tenant. /healthz and /metrics stay open. nil (the
 	// default) serves every request anonymously, exactly as before.
 	Auth *tenant.Registry
+	// TenantBudgetEps/TenantBudgetDelta set the default lifetime privacy
+	// budget per tenant: the total (ε, δ) a tenant's released synthetic
+	// records may ever cost under the composed Theorem 1 guarantee
+	// (privacy.PlanRelease over the records-released ledger). A synthesize
+	// request that would push a tenant past the budget is refused with 403
+	// before any generation work starts. TenantBudgetEps 0 (the default)
+	// disables enforcement — the ledger still counts. Per-tenant key-file
+	// overrides (budget_eps/budget_delta) win over these defaults. With
+	// StoreDir set the ledger persists there and survives restarts.
+	TenantBudgetEps   float64
+	TenantBudgetDelta float64
 	// Log receives one line per request; nil disables logging.
 	Log *log.Logger
 }
@@ -111,12 +132,14 @@ type Config struct {
 // Server is the sgfd HTTP handler. Create it with New; the zero value is
 // not usable.
 type Server struct {
-	cfg     Config
-	pool    *WorkerPool
-	reg     *Registry
-	metrics *Metrics
-	store   *store.Store // nil without StoreDir
-	jobs    *jobs.Manager
+	cfg      Config
+	pool     *WorkerPool
+	reg      *Registry
+	metrics  *Metrics
+	store    *store.Store // nil without StoreDir
+	jobs     *jobs.Manager
+	ledger   *ledger
+	statelog *stateLog // nil without StoreDir
 }
 
 // New returns a ready-to-serve Server. With Config.StoreDir set it opens
@@ -127,6 +150,16 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 32 << 20
+	}
+	// The same bounds the tenant key file enforces on per-tenant budget
+	// overrides: a δ that is not a probability (or a negative ε silently
+	// reading as "enforcement off") would make every admission decision
+	// meaningless.
+	if cfg.TenantBudgetEps < 0 {
+		return nil, errors.New("server: negative TenantBudgetEps")
+	}
+	if cfg.TenantBudgetDelta < 0 || cfg.TenantBudgetDelta >= 1 {
+		return nil, errors.New("server: TenantBudgetDelta must be in [0, 1)")
 	}
 	var st *store.Store
 	if cfg.StoreDir != "" {
@@ -143,10 +176,22 @@ func New(cfg Config) (*Server, error) {
 		metrics: metrics,
 		store:   st,
 		jobs:    jobs.NewManager(cfg.EvalMaxRunning, cfg.EvalMaxPending, cfg.EvalRetain),
+		ledger:  newLedger(),
 	}
 	if st != nil {
-		if n := s.reg.WarmStart(); n > 0 && cfg.Log != nil {
-			cfg.Log.Printf("warm-started %d model(s) from %s", n, cfg.StoreDir)
+		// All durable state flows through the statelog from here on: model
+		// ownership changes, finished job results, ledger charges.
+		s.statelog = newStateLog(st, s.reg, s.ledger, s.jobRecord)
+		s.jobs.SetHooks(jobs.Hooks{
+			OnFinish: func(j *jobs.Job, _ any) { s.statelog.NoteJobFinished(j.ID) },
+			OnEvict:  func(id string) { s.statelog.NoteJobEvicted(id) },
+		})
+		if led, err := st.GetLedger(); err == nil {
+			s.ledger.restore(led)
+		}
+		jobsRestored := s.restoreJobs()
+		if n := s.reg.WarmStart(); (n > 0 || jobsRestored > 0) && cfg.Log != nil {
+			cfg.Log.Printf("warm-started %d model(s) and %d job result(s) from %s", n, jobsRestored, cfg.StoreDir)
 		}
 	}
 	return s, nil
@@ -155,11 +200,18 @@ func New(cfg Config) (*Server, error) {
 // Metrics exposes the server's counters (used by tests and embedders).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close flushes the snapshot store: every ready resident model gets a
-// snapshot on disk if it doesn't already have one (a second chance for
-// models whose write-through snapshot failed). Call it after the HTTP
-// server has drained; it is a no-op without a store.
-func (s *Server) Close() error { return s.reg.Flush() }
+// Close flushes the durable state: the statelog drains (pending ownership
+// re-snapshots, job records, the privacy ledger) and then the registry
+// flushes — every ready resident model gets a snapshot on disk if it
+// doesn't already have one (a second chance for models whose write-through
+// snapshot failed). Call it after the HTTP server has drained; it is a
+// no-op without a store.
+func (s *Server) Close() error {
+	if s.statelog != nil {
+		s.statelog.Close()
+	}
+	return s.reg.Flush()
+}
 
 // statusWriter captures the response code for logging and metrics.
 type statusWriter struct {
@@ -301,8 +353,10 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			}
 			return "jobstatus"
 		case http.MethodDelete:
-			if requireRole(w, tn, tenant.RoleAdmin) {
-				s.handleJobDelete(w, r, rest)
+			// Writers may cancel/delete their *own* jobs; admins any job.
+			// The per-job ownership check lives in the handler.
+			if requireRole(w, tn, tenant.RoleWriter) {
+				s.handleJobDelete(w, r, rest, tn)
 			}
 			return "jobdelete"
 		default:

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// stateLog is the write-behind layer every piece of durable server state
+// flows through: model ownership changes (re-snapshot the model), finished
+// evaluation-job results (persist/delete job records) and privacy-ledger
+// charges (flush the ledger). Handlers mark state dirty with the Note*
+// methods — cheap, lock-then-kick — and a single flusher goroutine
+// coalesces the writes, so the synthesize hot path never waits on disk and
+// a burst of charges costs one ledger write, not one per stream.
+//
+// Write-behind, not write-back-someday: the flusher runs the moment it is
+// kicked, so state reaches disk within one flush cycle of the event. The
+// window a crash can lose is the in-flight cycle — and every record is
+// written atomically (temp+rename in the store), so the surviving state is
+// always a complete, checksummed snapshot of some recent moment, never a
+// torn one.
+type stateLog struct {
+	st  *store.Store
+	reg *Registry
+	led *ledger
+	// jobRecord resolves a job ID to its persistent record; it returns
+	// false when the job is gone or holds nothing persistable (the flusher
+	// then simply skips the write — the matching eviction already deleted
+	// or will delete the record).
+	jobRecord func(id string) (*store.JobRecord, bool)
+
+	mu          sync.Mutex
+	dirtyModels map[string]struct{}
+	jobPuts     map[string]struct{}
+	jobDels     map[string]struct{}
+	ledgerDirty bool
+	closed      bool
+	kick        chan struct{} // buffered(1): at most one pending wakeup
+	stopped     chan struct{} // closed when the flusher exits
+
+	// flushMu serializes drains (the background flusher vs explicit Flush)
+	// so batches cannot interleave and reorder a put after its delete.
+	flushMu sync.Mutex
+}
+
+func newStateLog(st *store.Store, reg *Registry, led *ledger, jobRecord func(string) (*store.JobRecord, bool)) *stateLog {
+	l := &stateLog{
+		st:          st,
+		reg:         reg,
+		led:         led,
+		jobRecord:   jobRecord,
+		dirtyModels: make(map[string]struct{}),
+		jobPuts:     make(map[string]struct{}),
+		jobDels:     make(map[string]struct{}),
+		kick:        make(chan struct{}, 1),
+		stopped:     make(chan struct{}),
+	}
+	go l.run()
+	return l
+}
+
+// NoteModelOwner marks a model's snapshot stale (its owner set grew).
+func (l *stateLog) NoteModelOwner(id string) {
+	l.mu.Lock()
+	l.dirtyModels[id] = struct{}{}
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+// NoteJobFinished marks a finished job's result for persistence.
+func (l *stateLog) NoteJobFinished(id string) {
+	l.mu.Lock()
+	l.jobPuts[id] = struct{}{}
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+// NoteJobEvicted marks a job's persisted record for deletion.
+func (l *stateLog) NoteJobEvicted(id string) {
+	l.mu.Lock()
+	l.jobDels[id] = struct{}{}
+	delete(l.jobPuts, id) // a pending put for an evicted job is moot
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+// NoteLedger marks the privacy ledger dirty.
+func (l *stateLog) NoteLedger() {
+	l.mu.Lock()
+	l.ledgerDirty = true
+	l.wakeLocked()
+	l.mu.Unlock()
+}
+
+// wakeLocked nudges the flusher. The non-blocking send happens under l.mu
+// — the same lock Close sets closed under — so a Note racing a Close can
+// never send on a closed channel; after Close the final drain picks the
+// work up instead. Callers hold l.mu.
+func (l *stateLog) wakeLocked() {
+	if l.closed {
+		return
+	}
+	select {
+	case l.kick <- struct{}{}:
+	default: // a wakeup is already pending; the flusher will see our work
+	}
+}
+
+// run is the flusher goroutine: drain on every kick until closed.
+func (l *stateLog) run() {
+	defer close(l.stopped)
+	for range l.kick {
+		l.drain()
+	}
+}
+
+// batch is one drained unit of work.
+type batch struct {
+	models      []string
+	jobPuts     []string
+	jobDels     []string
+	ledgerDirty bool
+}
+
+// drain takes the current dirty set and writes it out. Work that cannot
+// complete yet (a model still fitting) is re-marked dirty for the next
+// cycle. Store-level failures are recorded in the store's stats (surfaced
+// on /healthz and /metrics), not retried in a loop — the next state change
+// retries naturally.
+func (l *stateLog) drain() {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+
+	l.mu.Lock()
+	var b batch
+	for id := range l.dirtyModels {
+		b.models = append(b.models, id)
+	}
+	for id := range l.jobPuts {
+		b.jobPuts = append(b.jobPuts, id)
+	}
+	for id := range l.jobDels {
+		b.jobDels = append(b.jobDels, id)
+	}
+	b.ledgerDirty = l.ledgerDirty
+	l.dirtyModels = make(map[string]struct{})
+	l.jobPuts = make(map[string]struct{})
+	l.jobDels = make(map[string]struct{})
+	l.ledgerDirty = false
+	l.mu.Unlock()
+
+	// Failed writes are re-marked dirty as well as recorded in the store's
+	// stats: a transient ENOSPC on the day's last ledger flush must not
+	// silently under-count released records forever — the next kick (or the
+	// shutdown drain) retries it.
+	for _, id := range b.models {
+		if retry := l.reg.persistEntry(id); retry {
+			l.remark(func() { l.dirtyModels[id] = struct{}{} })
+		}
+	}
+	// Puts before deletes: if a job finished and was evicted inside one
+	// batch, the delete must win.
+	for _, id := range b.jobPuts {
+		rec, ok := l.jobRecord(id)
+		if !ok {
+			continue // evicted or unpersistable: nothing to write
+		}
+		if err := l.st.PutJob(rec); err != nil {
+			l.remark(func() { l.jobPuts[id] = struct{}{} })
+		}
+	}
+	for _, id := range b.jobDels {
+		if err := l.st.DeleteJob(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+			l.remark(func() { l.jobDels[id] = struct{}{} })
+		}
+	}
+	if b.ledgerDirty {
+		if err := l.st.PutLedger(l.led.snapshot()); err != nil {
+			l.remark(func() { l.ledgerDirty = true })
+		}
+	}
+}
+
+// remark re-queues failed work under the state lock (without waking the
+// flusher: an immediate retry would just spin on a persistent error — the
+// next state change or explicit Flush retries instead).
+func (l *stateLog) remark(mark func()) {
+	l.mu.Lock()
+	mark()
+	l.mu.Unlock()
+}
+
+// Flush synchronously drains everything marked dirty so far — the
+// graceful-shutdown and test path.
+func (l *stateLog) Flush() {
+	l.drain()
+}
+
+// Close stops the flusher and performs a final synchronous drain.
+func (l *stateLog) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.stopped
+		return
+	}
+	l.closed = true
+	close(l.kick)
+	l.mu.Unlock()
+	<-l.stopped
+	l.drain()
+}

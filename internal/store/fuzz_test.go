@@ -4,59 +4,111 @@ import (
 	"bytes"
 	"os"
 	"testing"
+	"time"
 )
 
-// FuzzDecodeSnapshot throws arbitrary bytes at the snapshot codec — the
-// path every POST /v1/models/import request and every file in a store
-// directory goes through. Decode promises to reject hostile input with an
-// error, never panic, never over-allocate from a forged length, and never
-// return a snapshot that would re-encode differently than it decoded
-// (which would let corruption survive a round trip unnoticed).
+// FuzzDecodeSnapshot throws arbitrary bytes at every decoder of the v2
+// snapshot container — the path every POST /v1/models/import request and
+// every file in a store directory (model snapshots, job records, the
+// privacy ledger) goes through. The decoders promise to reject hostile
+// input with an error, never panic, never over-allocate from a forged
+// length, and never return a record that would re-encode differently than
+// it decoded (which would let corruption survive a round trip unnoticed).
 //
-// The seed corpus starts from the checked-in golden snapshot plus targeted
-// mutations of it (truncations, bit flips in the header, body and
-// checksum), so the fuzzer begins at the deepest decode layers instead of
-// spending its budget rediscovering the magic.
+// The seed corpus starts from the checked-in goldens — the current v2
+// snapshot and the legacy v1 snapshot the migration path must keep reading
+// — plus encodings of the other two record kinds and targeted mutations
+// (truncations, bit flips in the header, body and checksum), so the fuzzer
+// begins at the deepest decode layers instead of spending its budget
+// rediscovering the magic.
 func FuzzDecodeSnapshot(f *testing.F) {
-	golden, err := os.ReadFile("testdata/golden_v1.snap")
-	if err != nil {
-		f.Fatalf("reading golden snapshot: %v", err)
+	for _, path := range []string{"testdata/golden_v2.snap", "testdata/golden_v1.snap"} {
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatalf("reading %s: %v", path, err)
+		}
+		f.Add(golden)
+		f.Add(golden[:len(golden)/2])                    // truncated body
+		f.Add(golden[:len(golden)-4])                    // missing checksum
+		f.Add(append([]byte("XXXXXXXX"), golden[8:]...)) // wrong magic
+		flipped := bytes.Clone(golden)
+		flipped[len(flipped)/2] ^= 0x40 // payload bit rot
+		f.Add(flipped)
+		badsum := bytes.Clone(golden)
+		badsum[len(badsum)-1] ^= 0x01 // checksum bit rot
+		f.Add(badsum)
 	}
-	f.Add(golden)
 	f.Add([]byte{})
 	f.Add(magic[:])
-	f.Add(golden[:len(golden)/2])                    // truncated body
-	f.Add(golden[:len(golden)-4])                    // missing checksum
-	f.Add(append([]byte("XXXXXXXX"), golden[8:]...)) // wrong magic
-	flipped := bytes.Clone(golden)
-	flipped[len(flipped)/2] ^= 0x40 // payload bit rot
-	f.Add(flipped)
-	badsum := bytes.Clone(golden)
-	badsum[len(badsum)-1] ^= 0x01 // checksum bit rot
-	f.Add(badsum)
+	if job, err := (&JobRecord{
+		ID: "j-00ab00ab00ab00ab", Label: "eval", Owner: "alice",
+		Created: time.Unix(1, 0), Started: time.Unix(2, 0), Finished: time.Unix(3, 0),
+		Result: []byte(`{"elapsed_ms":1}`),
+	}).Encode(); err == nil {
+		f.Add(job)
+	}
+	if led, err := (&Ledger{Entries: []LedgerEntry{
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 42},
+		{Tenant: "bob", K: 50, Gamma: 2, Eps0: 0.5, Records: 7},
+	}}).Encode(); err == nil {
+		f.Add(led)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		snap, err := Decode(data)
-		if err != nil {
-			return // rejected: exactly what hostile input should get
-		}
 		// Accepted input must survive a re-encode/re-decode round trip with
-		// identical bytes — the determinism the warm-start and export paths
-		// rely on.
-		out, err := snap.Encode()
-		if err != nil {
-			t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+		// identical bytes — the determinism the warm-start, export and
+		// ledger-flush paths rely on. Rejected input is exactly what hostile
+		// bytes should get.
+		if snap, err := Decode(data); err == nil {
+			out, err := snap.Encode()
+			if err != nil {
+				t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+			}
+			again, err := Decode(out)
+			if err != nil {
+				t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+			}
+			out2, err := again.Encode()
+			if err != nil {
+				t.Fatalf("second re-encode: %v", err)
+			}
+			if !bytes.Equal(out, out2) {
+				t.Fatal("snapshot encoding is not deterministic across a round trip")
+			}
 		}
-		again, err := Decode(out)
-		if err != nil {
-			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		if rec, err := DecodeJobRecord(data); err == nil {
+			out, err := rec.Encode()
+			if err != nil {
+				t.Fatalf("decoded job record fails to re-encode: %v", err)
+			}
+			again, err := DecodeJobRecord(out)
+			if err != nil {
+				t.Fatalf("re-encoded job record fails to decode: %v", err)
+			}
+			out2, err := again.Encode()
+			if err != nil {
+				t.Fatalf("second job re-encode: %v", err)
+			}
+			if !bytes.Equal(out, out2) {
+				t.Fatal("job record encoding is not deterministic across a round trip")
+			}
 		}
-		out2, err := again.Encode()
-		if err != nil {
-			t.Fatalf("second re-encode: %v", err)
-		}
-		if !bytes.Equal(out, out2) {
-			t.Fatal("snapshot encoding is not deterministic across a round trip")
+		if led, err := DecodeLedger(data); err == nil {
+			out, err := led.Encode()
+			if err != nil {
+				t.Fatalf("decoded ledger fails to re-encode: %v", err)
+			}
+			again, err := DecodeLedger(out)
+			if err != nil {
+				t.Fatalf("re-encoded ledger fails to decode: %v", err)
+			}
+			out2, err := again.Encode()
+			if err != nil {
+				t.Fatalf("second ledger re-encode: %v", err)
+			}
+			if !bytes.Equal(out, out2) {
+				t.Fatal("ledger encoding is not deterministic across a round trip")
+			}
 		}
 	})
 }

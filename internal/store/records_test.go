@@ -1,0 +1,306 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func testJobRecord(id string) *store.JobRecord {
+	return &store.JobRecord{
+		ID:       id,
+		Label:    "eval",
+		Owner:    "alice",
+		Created:  time.Unix(1700000000, 1).UTC(),
+		Started:  time.Unix(1700000001, 2).UTC(),
+		Finished: time.Unix(1700000005, 3).UTC(),
+		Result:   []byte(`{"config":{"n":12000},"elapsed_ms":41}`),
+	}
+}
+
+func TestJobRecordRoundTrip(t *testing.T) {
+	rec := testJobRecord("j-00ab00ab00ab00ab")
+	raw, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.DecodeJobRecord(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rec.ID || got.Label != rec.Label || got.Owner != rec.Owner ||
+		!got.Created.Equal(rec.Created) || !got.Started.Equal(rec.Started) ||
+		!got.Finished.Equal(rec.Finished) || !bytes.Equal(got.Result, rec.Result) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rec)
+	}
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, re) {
+		t.Fatal("job record encoding is not deterministic across decode")
+	}
+
+	// Corruption is caught by the container checksum.
+	flipped := append([]byte{}, raw...)
+	flipped[len(flipped)/2] ^= 0x20
+	if _, err := store.DecodeJobRecord(flipped); !errors.Is(err, store.ErrBadChecksum) {
+		t.Fatalf("bit flip: err = %v, want ErrBadChecksum", err)
+	}
+
+	// A malformed ID is refused at encode time.
+	bad := testJobRecord("j-nothex")
+	if _, err := bad.Encode(); err == nil {
+		t.Fatal("job record with malformed id encoded")
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	l := &store.Ledger{Entries: []store.LedgerEntry{
+		// Deliberately out of canonical order: Encode must sort.
+		{Tenant: "bob", K: 10, Gamma: 4, Eps0: 1, Records: 250},
+		{Tenant: "alice", K: 50, Gamma: 4, Eps0: 1, Records: 12},
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 1000},
+		{Tenant: "", K: 10, Gamma: 2, Eps0: 0.5, Records: 3},
+	}}
+	raw, err := l.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.DecodeLedger(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 4 {
+		t.Fatalf("decoded %d rows, want 4", len(got.Entries))
+	}
+	if got.Entries[0].Tenant != "" || got.Entries[1].Tenant != "alice" ||
+		got.Entries[1].K != 10 || got.Entries[2].K != 50 || got.Entries[3].Tenant != "bob" {
+		t.Fatalf("rows not in canonical order: %+v", got.Entries)
+	}
+	if got.Entries[1].Records != 1000 || got.Entries[0].Eps0 != 0.5 {
+		t.Fatalf("row values lost: %+v", got.Entries)
+	}
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, re) {
+		t.Fatal("ledger encoding is not deterministic across decode")
+	}
+
+	// Rows sharing a key are merged (counts summed) on encode, so every
+	// representable ledger decodes back.
+	dup := &store.Ledger{Entries: []store.LedgerEntry{
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 7},
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 5},
+	}}
+	draw, err := dup.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddec, err := store.DecodeLedger(draw)
+	if err != nil {
+		t.Fatalf("duplicate-key ledger does not round-trip: %v", err)
+	}
+	if len(ddec.Entries) != 1 || ddec.Entries[0].Records != 12 {
+		t.Fatalf("duplicate keys not merged: %+v", ddec.Entries)
+	}
+
+	// An empty ledger round-trips too (the fresh-deployment state).
+	eraw, err := (&store.Ledger{}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, err := store.DecodeLedger(eraw); err != nil || len(e.Entries) != 0 {
+		t.Fatalf("empty ledger round trip: %v %+v", err, e)
+	}
+
+	// NaN parameters still encode deterministically (bit-pattern order).
+	nan := &store.Ledger{Entries: []store.LedgerEntry{
+		{Tenant: "x", K: 1, Gamma: math.NaN(), Eps0: 1, Records: 1},
+		{Tenant: "x", K: 1, Gamma: 4, Eps0: 1, Records: 2},
+	}}
+	nraw, err := nan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndec, err := store.DecodeLedger(nraw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nre, err := ndec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(nraw, nre) {
+		t.Fatal("NaN ledger encoding is not a fixed point")
+	}
+}
+
+func TestStoreJobLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testJobRecord("j-000000000000000a")
+	b := testJobRecord("j-000000000000000b")
+	if err := s.PutJob(a); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // order by mtime
+	if err := s.PutJob(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetJob(a.ID)
+	if err != nil || got.Owner != "alice" {
+		t.Fatalf("GetJob = %+v, %v", got, err)
+	}
+
+	// A fresh Open over the same directory sees both records, oldest first.
+	s2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := s2.JobIDs(); len(ids) != 2 || ids[0] != a.ID || ids[1] != b.ID {
+		t.Fatalf("re-open JobIDs = %v", ids)
+	}
+	if st := s2.Stats(); st.JobRecords != 2 || st.JobBytes <= 0 {
+		t.Fatalf("re-open stats = %+v", st)
+	}
+
+	if err := s2.DeleteJob(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GetJob(a.ID); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("GetJob after delete: %v, want ErrNotFound", err)
+	}
+	if err := s2.DeleteJob(a.ID); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("double DeleteJob: %v, want ErrNotFound", err)
+	}
+
+	// A corrupt job record is quarantined, not served.
+	raw, _ := b.Encode()
+	raw[len(raw)/2] ^= 0x01
+	path := filepath.Join(dir, b.ID+".job")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.GetJob(b.ID); !errors.Is(err, store.ErrBadChecksum) {
+		t.Fatalf("corrupt GetJob: %v, want ErrBadChecksum", err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if st := s3.Stats(); st.Quarantined != 1 || st.JobRecords != 0 {
+		t.Fatalf("stats after quarantine = %+v", st)
+	}
+}
+
+func TestStoreLedgerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh directory has no ledger.
+	if _, err := s.GetLedger(); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("fresh GetLedger: %v, want ErrNotFound", err)
+	}
+	l := &store.Ledger{Entries: []store.LedgerEntry{
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 500},
+	}}
+	if err := s.PutLedger(l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetLedger()
+	if err != nil || len(got.Entries) != 1 || got.Entries[0].Records != 500 {
+		t.Fatalf("GetLedger = %+v, %v", got, err)
+	}
+	if st := s.Stats(); st.LedgerSaves != 1 || st.LedgerErrors != 0 || st.LastLedgerError != "" {
+		t.Fatalf("ledger stats = %+v", st)
+	}
+
+	// The ledger survives a re-open; the model index ignores it.
+	s2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.GetLedger(); err != nil || got.Entries[0].Tenant != "alice" {
+		t.Fatalf("re-open GetLedger = %+v, %v", got, err)
+	}
+	if st := s2.Stats(); st.Count != 0 {
+		t.Fatalf("ledger file counted as a model snapshot: %+v", st)
+	}
+
+	// A corrupt ledger is quarantined and reads as a decode error; the
+	// caller starts fresh, the operator keeps the bytes.
+	raw, _ := os.ReadFile(filepath.Join(dir, "ledger.v2"))
+	raw[len(raw)/2] ^= 0x08
+	if err := os.WriteFile(filepath.Join(dir, "ledger.v2"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GetLedger(); !errors.Is(err, store.ErrBadChecksum) {
+		t.Fatalf("corrupt GetLedger: %v, want ErrBadChecksum", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ledger.v2.corrupt")); err != nil {
+		t.Errorf("ledger quarantine file missing: %v", err)
+	}
+}
+
+// TestLedgerCrashConsistency simulates a kill between two ledger flushes:
+// the atomic temp+rename write means a crash mid-flush leaves the previous
+// complete ledger in place, and the orphaned temp file is swept on the next
+// Open — never promoted to a live ledger.
+func TestLedgerCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutLedger(&store.Ledger{Entries: []store.LedgerEntry{
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 100},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" mid-flush: the next ledger state made it into a temp file but
+	// the process died before the rename published it.
+	next, err := (&store.Ledger{Entries: []store.LedgerEntry{
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 175},
+	}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ".tmp-crashed")
+	if err := os.WriteFile(tmp, next[:len(next)-3], 0o644); err != nil { // torn write
+		t.Fatal(err)
+	}
+
+	// Restart: the previous flush is served intact, the torn temp is gone.
+	s2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.GetLedger()
+	if err != nil {
+		t.Fatalf("GetLedger after crash: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].Records != 100 {
+		t.Fatalf("crash surfaced a torn ledger: %+v", got.Entries)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Error("torn temp file survived the restart sweep")
+	}
+}

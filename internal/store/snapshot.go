@@ -1,27 +1,40 @@
-// Package store persists fitted models across process restarts: a versioned
-// binary snapshot codec for sgf.FittedModel plus its registry bookkeeping,
-// and a directory-backed Store with atomic writes, corrupt-snapshot
-// quarantine and a byte-budget eviction policy.
+// Package store persists sgfd's durable server state across process
+// restarts: a versioned binary container format holding typed records —
+// fitted-model snapshots (with their tenant ownership sets), finished
+// evaluation-job results, and the per-tenant privacy ledger — plus a
+// directory-backed Store with atomic writes, corrupt-record quarantine and
+// a byte-budget eviction policy for model snapshots.
 //
 // The §3 pipeline's expensive half is Fit; the fit-once/synthesize-many
 // split only pays off in production if a fitted model survives a restart.
-// A snapshot captures everything synthesis needs — schema, bucketizer,
-// structure, count tables, the DS seed partition — plus the spent (ε, δ)
-// model budget and the registry cache key, so a restarted server answers
-// repeat fit requests from disk and produces byte-identical synthetic
-// records for identical synthesize requests.
+// A model snapshot captures everything synthesis needs — schema,
+// bucketizer, structure, count tables, the DS seed partition — plus the
+// spent (ε, δ) model budget, the registry cache key and the owning
+// tenants, so a restarted server answers repeat fit requests from disk,
+// produces byte-identical synthetic records for identical synthesize
+// requests, and keeps enforcing tenant isolation. The job and ledger
+// records exist for the same reason at the serving layer: the end-to-end
+// guarantee (Theorem 1 composed over every record ever released) is a
+// property of *lifetime* counts, so forgetting them on restart would
+// silently invalidate the served (ε, δ) accounting.
 //
-// On-disk format:
+// On-disk container format (version 2):
 //
 //	8  bytes  magic "SGFSNAP\x00"
-//	…         uvarint format version, then the snapshot payload (wire
-//	          encoding; the fitted model is a nested length-prefixed
-//	          sgf.FittedModel payload with its own sub-version)
+//	…         uvarint format version (2), uvarint record kind, then the
+//	          kind-specific payload (wire encoding; a model snapshot nests
+//	          a length-prefixed sgf.FittedModel payload with its own
+//	          sub-version)
 //	4  bytes  CRC-32C (Castagnoli) of everything above, little-endian
 //
-// Decoding verifies the magic, the checksum, and the version — in that
-// order — before touching the payload, so truncated files, bit rot and
-// foreign formats are rejected with distinct errors.
+// Version 1 files — written before record kinds existed — carry no kind
+// field and are always model snapshots without an ownership set; Decode
+// still reads them (the explicit migration path), and re-encoding writes
+// version 2.
+//
+// Decoding verifies the magic, the checksum, the version and the record
+// kind — in that order — before touching the payload, so truncated files,
+// bit rot and foreign formats are rejected with distinct errors.
 package store
 
 import (
@@ -30,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"time"
 
 	sgf "repro"
@@ -37,23 +51,84 @@ import (
 	"repro/internal/wire"
 )
 
-// Version is the snapshot container format version.
-const Version = 1
+// Version is the current snapshot container format version. Version 1
+// (model-only, no record kinds, no ownership) remains readable.
+const Version = 2
 
-// magic identifies a snapshot file.
+// Record kinds carried by a version-2 container. Version-1 files predate
+// kinds and always hold a model snapshot.
+const (
+	// KindModel is a fitted-model snapshot (Snapshot).
+	KindModel uint64 = 1
+	// KindJobResult is a finished evaluation-job result (JobRecord).
+	KindJobResult uint64 = 2
+	// KindLedger is the per-tenant records-released privacy ledger (Ledger).
+	KindLedger uint64 = 3
+)
+
+// magic identifies a snapshot-container file.
 var magic = [8]byte{'S', 'G', 'F', 'S', 'N', 'A', 'P', 0}
 
 // Sentinel decode errors, distinguishable with errors.Is.
 var (
-	// ErrBadMagic means the bytes are not a snapshot at all.
+	// ErrBadMagic means the bytes are not a snapshot container at all.
 	ErrBadMagic = errors.New("store: not a model snapshot (bad magic)")
-	// ErrBadChecksum means the snapshot was truncated or corrupted.
+	// ErrBadChecksum means the container was truncated or corrupted.
 	ErrBadChecksum = errors.New("store: snapshot checksum mismatch")
-	// ErrBadVersion means the snapshot uses an unsupported format version.
+	// ErrBadVersion means the container uses an unsupported format version.
 	ErrBadVersion = errors.New("store: unsupported snapshot version")
+	// ErrBadKind means the container is intact but holds a different record
+	// kind than the caller asked for (e.g. a ledger fed to the model
+	// decoder).
+	ErrBadKind = errors.New("store: unexpected snapshot record kind")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// seal wraps an encoded payload in the version-2 container: magic, version,
+// record kind, payload, checksum.
+func seal(kind uint64, payload []byte) []byte {
+	hdr := &wire.Writer{}
+	hdr.Uvarint(Version)
+	hdr.Uvarint(kind)
+	out := make([]byte, 0, len(magic)+hdr.Len()+len(payload)+4)
+	out = append(out, magic[:]...)
+	out = append(out, hdr.Bytes()...)
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
+	return out
+}
+
+// openContainer validates container integrity — magic, checksum, version,
+// in that order — and returns the format version, the record kind and a
+// reader positioned at the payload. Version-1 containers have no kind
+// field and read as KindModel.
+func openContainer(data []byte) (version, kind uint64, rr *wire.Reader, err error) {
+	if len(data) < len(magic)+4 || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return 0, 0, nil, ErrBadMagic
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return 0, 0, nil, ErrBadChecksum
+	}
+	rr = wire.NewReader(body[len(magic):])
+	version = rr.Uvarint()
+	if err := rr.Err(); err != nil {
+		return 0, 0, nil, fmt.Errorf("store: decoding container: %w", err)
+	}
+	switch version {
+	case 1:
+		kind = KindModel
+	case Version:
+		kind = rr.Uvarint()
+		if err := rr.Err(); err != nil {
+			return 0, 0, nil, fmt.Errorf("store: decoding container: %w", err)
+		}
+	default:
+		return 0, 0, nil, fmt.Errorf("%w: %d (supported: 1..%d)", ErrBadVersion, version, Version)
+	}
+	return version, kind, rr, nil
+}
 
 // Snapshot is one persisted model: the server registry's bookkeeping for the
 // entry plus the complete fitted model.
@@ -76,16 +151,20 @@ type Snapshot struct {
 	ModelDelta float64
 	MaxCost    float64
 	Seed       uint64
+	// Owners names the tenants that registered the model, sorted and
+	// deduplicated — persisting it is what lets a restart preserve tenant
+	// isolation instead of resetting every revived model to unowned.
+	// Version-1 snapshots decode with a nil set.
+	Owners []string
 	// Model is the fitted model itself.
 	Model *sgf.FittedModel
 }
 
-// Encode renders the snapshot in the container format: magic, version,
-// payload, checksum. Encoding is deterministic — the same snapshot always
-// produces the same bytes.
+// Encode renders the snapshot in the version-2 container format. Encoding
+// is deterministic — the same snapshot always produces the same bytes
+// (Owners is sorted and deduplicated on the way out).
 func (s *Snapshot) Encode() ([]byte, error) {
 	ww := &wire.Writer{}
-	ww.Uvarint(Version)
 	ww.String(s.ID)
 	ww.String(s.Key)
 	ww.Varint(s.Created.UnixNano())
@@ -101,6 +180,7 @@ func (s *Snapshot) Encode() ([]byte, error) {
 	ww.Float64(s.ModelDelta)
 	ww.Float64(s.MaxCost)
 	ww.Uvarint(s.Seed)
+	ww.Strings(normalizeOwners(s.Owners))
 	var mb bytes.Buffer
 	if s.Model == nil {
 		return nil, fmt.Errorf("store: snapshot %s has no model", s.ID)
@@ -109,31 +189,47 @@ func (s *Snapshot) Encode() ([]byte, error) {
 		return nil, fmt.Errorf("store: encoding model %s: %w", s.ID, err)
 	}
 	ww.BytesField(mb.Bytes())
-
-	out := make([]byte, 0, len(magic)+ww.Len()+4)
-	out = append(out, magic[:]...)
-	out = append(out, ww.Bytes()...)
-	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
-	return out, nil
+	return seal(KindModel, ww.Bytes()), nil
 }
 
-// Decode parses and fully validates a snapshot: container integrity first
-// (magic, checksum, version), then the payload through the layered model
-// codec, then cross-field consistency (the ID must be derived from the key).
-func Decode(data []byte) (*Snapshot, error) {
-	if len(data) < len(magic)+4 || !bytes.Equal(data[:len(magic)], magic[:]) {
-		return nil, ErrBadMagic
+// normalizeOwners returns the sorted, deduplicated, empty-name-free form of
+// an owner set — the canonical encoding order.
+func normalizeOwners(owners []string) []string {
+	if len(owners) == 0 {
+		return nil
 	}
-	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
-	if crc32.Checksum(body, castagnoli) != sum {
-		return nil, ErrBadChecksum
-	}
-	rr := wire.NewReader(body[len(magic):])
-	if v := rr.Uvarint(); v != Version {
-		if err := rr.Err(); err != nil {
-			return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+	out := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o != "" {
+			out = append(out, o)
 		}
-		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, v, Version)
+	}
+	sort.Strings(out)
+	dedup := out[:0]
+	for i, o := range out {
+		if i == 0 || o != out[i-1] {
+			dedup = append(dedup, o)
+		}
+	}
+	if len(dedup) == 0 {
+		return nil
+	}
+	return dedup
+}
+
+// Decode parses and fully validates a model snapshot: container integrity
+// first (magic, checksum, version, kind), then the payload through the
+// layered model codec, then cross-field consistency (the ID must be derived
+// from the key, the owner set must be canonical). Version-1 containers —
+// the pre-ownership format — decode with a nil owner set; re-encoding
+// writes version 2, which is the migration path.
+func Decode(data []byte) (*Snapshot, error) {
+	version, kind, rr, err := openContainer(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindModel {
+		return nil, fmt.Errorf("%w: kind %d, want model (%d)", ErrBadKind, kind, KindModel)
 	}
 	s := &Snapshot{}
 	s.ID = rr.ReadString()
@@ -151,6 +247,9 @@ func Decode(data []byte) (*Snapshot, error) {
 	s.ModelDelta = rr.Float64()
 	s.MaxCost = rr.Float64()
 	s.Seed = rr.Uvarint()
+	if version >= 2 {
+		s.Owners = rr.ReadStrings()
+	}
 	modelRaw := rr.BytesField()
 	if err := rr.Err(); err != nil {
 		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
@@ -160,6 +259,18 @@ func Decode(data []byte) (*Snapshot, error) {
 	}
 	if !ValidID(s.ID) || len(s.Key) < 16 || s.ID != "m-"+s.Key[:16] {
 		return nil, fmt.Errorf("store: snapshot id %q does not match its cache key", s.ID)
+	}
+	// The owner set must already be in canonical form (strictly increasing,
+	// no empty names): accepting a non-canonical set would make the decoded
+	// snapshot re-encode to different bytes, letting corruption survive a
+	// round trip unnoticed.
+	for i, o := range s.Owners {
+		if o == "" || (i > 0 && s.Owners[i-1] >= o) {
+			return nil, fmt.Errorf("store: snapshot %s has a non-canonical owner set", s.ID)
+		}
+	}
+	if len(s.Owners) == 0 {
+		s.Owners = nil
 	}
 	model, err := sgf.DecodeFittedModel(bytes.NewReader(modelRaw))
 	if err != nil {
@@ -173,7 +284,17 @@ func Decode(data []byte) (*Snapshot, error) {
 // ("m-" + 16 lowercase hex digits) and is therefore safe to use as a
 // filename component.
 func ValidID(id string) bool {
-	if len(id) != 18 || id[0] != 'm' || id[1] != '-' {
+	return validHexID(id, 'm')
+}
+
+// ValidJobID reports whether id has the job-manager handle shape
+// ("j-" + 16 lowercase hex digits).
+func ValidJobID(id string) bool {
+	return validHexID(id, 'j')
+}
+
+func validHexID(id string, prefix byte) bool {
+	if len(id) != 18 || id[0] != prefix || id[1] != '-' {
 		return false
 	}
 	for _, c := range id[2:] {

@@ -16,11 +16,20 @@ import (
 // ErrNotFound is returned by Get/ReadRaw/Delete for an unknown snapshot.
 var ErrNotFound = errors.New("store: no such snapshot")
 
-// snapExt is the snapshot filename extension; a snapshot for model id X
-// lives at <dir>/X.snap.
+// snapExt is the model-snapshot filename extension; a snapshot for model id
+// X lives at <dir>/X.snap.
 const snapExt = ".snap"
 
-// quarantineExt marks a snapshot that failed decoding; the file is renamed,
+// jobExt is the finished-job-record filename extension; a record for job id
+// J lives at <dir>/J.job.
+const jobExt = ".job"
+
+// ledgerName is the per-tenant privacy ledger, one file per store
+// directory. Its name fails ValidID, so the model scan never confuses it
+// with a snapshot.
+const ledgerName = "ledger.v2"
+
+// quarantineExt marks a record that failed decoding; the file is renamed,
 // not deleted, so an operator can inspect it.
 const quarantineExt = ".corrupt"
 
@@ -33,11 +42,14 @@ type fileInfo struct {
 // Stats is a point-in-time summary of the store, surfaced by /healthz and
 // the Prometheus metrics.
 type Stats struct {
-	// Count and Bytes describe the snapshots currently on disk.
-	Count int
-	Bytes int64
+	// Count and Bytes describe the model snapshots currently on disk;
+	// JobRecords and JobBytes the persisted finished-job results.
+	Count      int
+	Bytes      int64
+	JobRecords int
+	JobBytes   int64
 	// Saves/Loads/Deletes count successful operations since process start;
-	// the *Errors counters their failures. Quarantined counts snapshots
+	// the *Errors counters their failures. Quarantined counts records
 	// moved aside because they failed decoding.
 	Saves       int64
 	SaveErrors  int64
@@ -45,10 +57,19 @@ type Stats struct {
 	LoadErrors  int64
 	Deletes     int64
 	Quarantined int64
-	// LastSaveError and LastLoadError are the most recent failure messages
-	// (empty when none has occurred).
-	LastSaveError string
-	LastLoadError string
+	// LedgerSaves counts successful privacy-ledger flushes; LedgerErrors
+	// their failures. Ledger failures are tracked apart from snapshot save
+	// errors because they mean something different to an operator: a model
+	// that failed to persist refits on restart, a ledger that failed to
+	// flush under-counts released records — a privacy-accounting problem,
+	// not a capacity one.
+	LedgerSaves  int64
+	LedgerErrors int64
+	// LastSaveError, LastLoadError and LastLedgerError are the most recent
+	// failure messages (empty when none has occurred).
+	LastSaveError   string
+	LastLoadError   string
+	LastLedgerError string
 }
 
 // Store is a directory of model snapshots, one file per model ID. All
@@ -60,7 +81,8 @@ type Store struct {
 	maxBytes int64
 
 	mu    sync.Mutex
-	files map[string]fileInfo // id → on-disk snapshot
+	files map[string]fileInfo // model id → on-disk snapshot
+	jobs  map[string]fileInfo // job id → on-disk job record
 	stats Stats
 }
 
@@ -75,28 +97,42 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, maxBytes: maxBytes, files: make(map[string]fileInfo)}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		files:    make(map[string]fileInfo),
+		jobs:     make(map[string]fileInfo),
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if strings.HasPrefix(name, ".tmp-") && !e.IsDir() {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".tmp-") {
 			// A crash mid-writeAtomic leaves a partial temp file behind;
-			// nothing references it, so sweep it before it accumulates.
+			// nothing references it, so sweep it before it accumulates. The
+			// completed record (old or new) is intact — the rename is what
+			// publishes a write.
 			os.Remove(filepath.Join(dir, name))
 			continue
 		}
-		id, ok := strings.CutSuffix(name, snapExt)
-		if !ok || !ValidID(id) || e.IsDir() {
-			continue // foreign files (and quarantined snapshots) are left alone
-		}
-		info, err := e.Info()
-		if err != nil {
+		if id, ok := strings.CutSuffix(name, snapExt); ok && ValidID(id) {
+			if info, err := e.Info(); err == nil {
+				s.files[id] = fileInfo{size: info.Size(), mtime: info.ModTime()}
+			}
 			continue
 		}
-		s.files[id] = fileInfo{size: info.Size(), mtime: info.ModTime()}
+		if id, ok := strings.CutSuffix(name, jobExt); ok && ValidJobID(id) {
+			if info, err := e.Info(); err == nil {
+				s.jobs[id] = fileInfo{size: info.Size(), mtime: info.ModTime()}
+			}
+			continue
+		}
+		// Foreign files, the ledger and quarantined records are left alone.
 	}
 	return s, nil
 }
@@ -105,6 +141,10 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 func (s *Store) path(id string) string { return filepath.Join(s.dir, id+snapExt) }
+
+func (s *Store) jobPath(id string) string { return filepath.Join(s.dir, id+jobExt) }
+
+func (s *Store) ledgerPath() string { return filepath.Join(s.dir, ledgerName) }
 
 // Put atomically persists a snapshot, replacing any previous snapshot for
 // the same ID, then enforces the byte budget.
@@ -271,6 +311,167 @@ func (s *Store) quarantine(id string, cause error) {
 	s.mu.Unlock()
 }
 
+// PutJob atomically persists a finished-job record, replacing any previous
+// record for the same ID. Job records live outside the model byte budget:
+// they are small, bounded by the job manager's retention limit, and
+// evicting a model to make room for a job result (or vice versa) would
+// couple two unrelated retention policies.
+func (s *Store) PutJob(rec *JobRecord) error {
+	data, err := rec.Encode()
+	if err != nil {
+		return s.saveFailed(err)
+	}
+	if err := s.writeAtomic(s.jobPath(rec.ID), data); err != nil {
+		return s.saveFailed(fmt.Errorf("store: writing job record %s: %w", rec.ID, err))
+	}
+	s.mu.Lock()
+	s.jobs[rec.ID] = fileInfo{size: int64(len(data)), mtime: time.Now()}
+	s.stats.Saves++
+	s.mu.Unlock()
+	return nil
+}
+
+// GetJob reads and decodes a persisted job record. A record that fails to
+// decode is quarantined (renamed *.corrupt) and counted as a load error, so
+// one bad file cannot wedge the job warm-start.
+func (s *Store) GetJob(id string) (*JobRecord, error) {
+	if !ValidJobID(id) {
+		return nil, ErrNotFound
+	}
+	s.mu.Lock()
+	_, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	raw, err := os.ReadFile(s.jobPath(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		s.loadFailed(err)
+		return nil, fmt.Errorf("store: reading job record %s: %w", id, err)
+	}
+	rec, err := DecodeJobRecord(raw)
+	if err == nil && rec.ID != id {
+		err = fmt.Errorf("store: job file %s contains job %s", id, rec.ID)
+	}
+	if err != nil {
+		_ = os.Rename(s.jobPath(id), s.jobPath(id)+quarantineExt)
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.stats.Quarantined++
+		s.stats.LoadErrors++
+		s.stats.LastLoadError = err.Error()
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Loads++
+	s.mu.Unlock()
+	return rec, nil
+}
+
+// DeleteJob removes a persisted job record (the retention-eviction and
+// DELETE /v1/jobs paths). Deleting an unknown ID returns ErrNotFound.
+func (s *Store) DeleteJob(id string) error {
+	if !ValidJobID(id) {
+		return ErrNotFound
+	}
+	s.mu.Lock()
+	_, ok := s.jobs[id]
+	delete(s.jobs, id)
+	s.mu.Unlock()
+	err := os.Remove(s.jobPath(id))
+	if errors.Is(err, fs.ErrNotExist) {
+		err = nil
+		if !ok {
+			return ErrNotFound
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("store: deleting job record %s: %w", id, err)
+	}
+	s.mu.Lock()
+	s.stats.Deletes++
+	s.mu.Unlock()
+	return nil
+}
+
+// JobIDs returns the persisted job IDs, oldest first (by file mtime, ties
+// by ID) — the order warm-start should restore them in, so the job
+// manager's finish-order retention evicts the oldest results first when
+// more records survive on disk than the retention bound admits.
+func (s *Store) JobIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ta, tb := s.jobs[ids[a]].mtime, s.jobs[ids[b]].mtime
+		if !ta.Equal(tb) {
+			return ta.Before(tb)
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// PutLedger atomically persists the privacy ledger. Failures are tracked
+// apart from model save errors (see Stats.LedgerErrors): a lost model
+// refits, a lost ledger under-counts released records.
+func (s *Store) PutLedger(l *Ledger) error {
+	data, err := l.Encode()
+	if err == nil {
+		err = s.writeAtomic(s.ledgerPath(), data)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.stats.LedgerErrors++
+		s.stats.LastLedgerError = err.Error()
+		return fmt.Errorf("store: writing ledger: %w", err)
+	}
+	s.stats.LedgerSaves++
+	s.stats.LastLedgerError = ""
+	return nil
+}
+
+// GetLedger reads the persisted privacy ledger. A store directory without
+// one returns ErrNotFound (a fresh deployment, or pre-v2 state). A ledger
+// that fails to decode is quarantined and the error recorded — the caller
+// starts from an empty ledger, which over-admits nothing it can help, and
+// the operator keeps the bytes.
+func (s *Store) GetLedger() (*Ledger, error) {
+	raw, err := os.ReadFile(s.ledgerPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		s.loadFailed(err)
+		return nil, fmt.Errorf("store: reading ledger: %w", err)
+	}
+	l, err := DecodeLedger(raw)
+	if err != nil {
+		_ = os.Rename(s.ledgerPath(), s.ledgerPath()+quarantineExt)
+		s.mu.Lock()
+		s.stats.Quarantined++
+		s.stats.LoadErrors++
+		s.stats.LastLoadError = err.Error()
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Loads++
+	s.mu.Unlock()
+	return l, nil
+}
+
 // Delete removes a snapshot from disk. Deleting an unknown ID returns
 // ErrNotFound.
 func (s *Store) Delete(id string) error {
@@ -362,6 +563,11 @@ func (s *Store) Stats() Stats {
 	for _, fi := range s.files {
 		out.Bytes += fi.size
 	}
+	out.JobRecords = len(s.jobs)
+	out.JobBytes = 0
+	for _, fi := range s.jobs {
+		out.JobBytes += fi.size
+	}
 	return out
 }
 
@@ -396,6 +602,10 @@ func (s *Store) WriteMetrics(w io.Writer) (int64, error) {
 	add("# TYPE sgfd_store_load_errors_total counter\nsgfd_store_load_errors_total %d\n", st.LoadErrors)
 	add("# TYPE sgfd_store_deletes_total counter\nsgfd_store_deletes_total %d\n", st.Deletes)
 	add("# TYPE sgfd_store_quarantined_total counter\nsgfd_store_quarantined_total %d\n", st.Quarantined)
+	add("# TYPE sgfd_store_job_records gauge\nsgfd_store_job_records %d\n", st.JobRecords)
+	add("# TYPE sgfd_store_job_bytes gauge\nsgfd_store_job_bytes %d\n", st.JobBytes)
+	add("# TYPE sgfd_store_ledger_saves_total counter\nsgfd_store_ledger_saves_total %d\n", st.LedgerSaves)
+	add("# TYPE sgfd_store_ledger_errors_total counter\nsgfd_store_ledger_errors_total %d\n", st.LedgerErrors)
 	n, err := w.Write(b)
 	return int64(n), err
 }

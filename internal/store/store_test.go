@@ -62,6 +62,7 @@ func testSnapshot(t testing.TB, salt uint64) *store.Snapshot {
 		FitDuration: 125 * time.Millisecond,
 		ModelEps:    1,
 		Seed:        11,
+		Owners:      []string{"alice", "bob"},
 		Model:       fm,
 	}
 }
@@ -91,6 +92,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		got.Rows != snap.Rows || got.Clean != snap.Clean || got.FitDuration != snap.FitDuration ||
 		got.ModelEps != snap.ModelEps || got.Seed != snap.Seed {
 		t.Fatalf("metadata mismatch: %+v vs %+v", got, snap)
+	}
+	if len(got.Owners) != 2 || got.Owners[0] != "alice" || got.Owners[1] != "bob" {
+		t.Fatalf("owners lost in round trip: %v", got.Owners)
 	}
 	want, have := synth(t, snap.Model), synth(t, got.Model)
 	for i := 0; i < want.Len(); i++ {
@@ -149,14 +153,32 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 
 	// An ID that is not derived from the key must be refused (re-checksummed
-	// so only the consistency rule can reject it). The ID field starts right
-	// after the version byte: uvarint length 18, then the ID bytes.
+	// so only the consistency rule can reject it). The v2 layout is magic,
+	// version byte, kind byte, then the uvarint ID length and the ID bytes.
 	forged := append([]byte{}, valid...)
-	forged[10] ^= 0x01 // second character of the ID
+	forged[12] ^= 0x01 // second character of the ID
 	sum = crc32.Checksum(forged[:len(forged)-4], crc32.MakeTable(crc32.Castagnoli))
 	binary.LittleEndian.PutUint32(forged[len(forged)-4:], sum)
 	if _, err := store.Decode(forged); err == nil {
 		t.Error("snapshot with forged id accepted")
+	}
+
+	// An intact container of a different record kind must be refused with
+	// ErrBadKind, not misparsed as a model.
+	ledgerRaw, err := (&store.Ledger{Entries: []store.LedgerEntry{
+		{Tenant: "alice", K: 10, Gamma: 4, Eps0: 1, Records: 7},
+	}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Decode(ledgerRaw); !errors.Is(err, store.ErrBadKind) {
+		t.Errorf("ledger fed to model decoder: err = %v, want ErrBadKind", err)
+	}
+	if _, err := store.DecodeJobRecord(valid); !errors.Is(err, store.ErrBadKind) {
+		t.Errorf("model fed to job decoder: err = %v, want ErrBadKind", err)
+	}
+	if _, err := store.DecodeLedger(valid); !errors.Is(err, store.ErrBadKind) {
+		t.Errorf("model fed to ledger decoder: err = %v, want ErrBadKind", err)
 	}
 }
 
@@ -306,13 +328,16 @@ func TestStoreMaxBytesEvictsOldest(t *testing.T) {
 	}
 }
 
-const goldenPath = "testdata/golden_v1.snap"
+const (
+	goldenV1Path = "testdata/golden_v1.snap"
+	goldenV2Path = "testdata/golden_v2.snap"
+)
 
-// TestGoldenSnapshot pins the on-disk format: the checked-in snapshot must
-// keep decoding, and re-encoding the decoded snapshot must reproduce the
-// file bit-for-bit. If this test fails after a codec change, the format
-// changed: bump the version (store.Version or the fitted-model sub-version)
-// and regenerate with
+// TestGoldenSnapshot pins the current on-disk format: the checked-in v2
+// snapshot must keep decoding, and re-encoding the decoded snapshot must
+// reproduce the file bit-for-bit. If this test fails after a codec change,
+// the format changed: bump the version (store.Version or the fitted-model
+// sub-version) and regenerate with
 //
 //	STORE_WRITE_GOLDEN=1 go test ./internal/store -run TestGoldenSnapshot
 func TestGoldenSnapshot(t *testing.T) {
@@ -322,15 +347,15 @@ func TestGoldenSnapshot(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(goldenV2Path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+		if err := os.WriteFile(goldenV2Path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("wrote %d-byte golden snapshot", len(data))
 	}
-	raw, err := os.ReadFile(goldenPath)
+	raw, err := os.ReadFile(goldenV2Path)
 	if err != nil {
 		t.Fatalf("reading golden snapshot (regenerate with STORE_WRITE_GOLDEN=1): %v", err)
 	}
@@ -341,6 +366,9 @@ func TestGoldenSnapshot(t *testing.T) {
 	if !strings.HasPrefix(snap.ID, "m-") || snap.Rows != 200 || snap.Model == nil {
 		t.Fatalf("golden snapshot decoded to nonsense: %+v", snap)
 	}
+	if len(snap.Owners) != 2 || snap.Owners[0] != "alice" {
+		t.Fatalf("golden snapshot lost its owner set: %v", snap.Owners)
+	}
 	if out := synth(t, snap.Model); out.Len() != 20 {
 		t.Fatalf("golden model synthesized %d records, want 20", out.Len())
 	}
@@ -350,5 +378,61 @@ func TestGoldenSnapshot(t *testing.T) {
 	}
 	if !bytes.Equal(raw, re) {
 		t.Fatal("golden snapshot is not a decode→encode fixed point; the format changed — bump the version")
+	}
+}
+
+// TestGoldenV1Migration is the explicit v1→v2 migration path: the
+// checked-in version-1 snapshot (written by the pre-ownership binary) must
+// keep decoding — with a nil owner set — and re-encoding it must produce a
+// version-2 container that round-trips to the same model.
+func TestGoldenV1Migration(t *testing.T) {
+	raw, err := os.ReadFile(goldenV1Path)
+	if err != nil {
+		t.Fatalf("reading v1 golden snapshot: %v", err)
+	}
+	if raw[8] != 1 {
+		t.Fatalf("v1 golden carries version %d, want 1", raw[8])
+	}
+	snap, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer decodes: %v", err)
+	}
+	if snap.Owners != nil {
+		t.Fatalf("v1 snapshot decoded with owners %v, want none", snap.Owners)
+	}
+	if snap.Rows != 200 || snap.Model == nil {
+		t.Fatalf("v1 snapshot decoded to nonsense: %+v", snap)
+	}
+	want := synth(t, snap.Model)
+
+	// The migration: re-encode writes the current version.
+	migrated, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated[8] != store.Version {
+		t.Fatalf("migrated snapshot carries version %d, want %d", migrated[8], store.Version)
+	}
+	again, err := store.Decode(migrated)
+	if err != nil {
+		t.Fatalf("migrated snapshot does not decode: %v", err)
+	}
+	if again.ID != snap.ID || again.Key != snap.Key || !again.Created.Equal(snap.Created) ||
+		again.Rows != snap.Rows || again.Clean != snap.Clean || again.FitDuration != snap.FitDuration {
+		t.Fatalf("migration changed metadata: %+v vs %+v", again, snap)
+	}
+	have := synth(t, again.Model)
+	for i := 0; i < want.Len(); i++ {
+		if !want.Row(i).Equal(have.Row(i)) {
+			t.Fatalf("record %d differs after v1→v2 migration", i)
+		}
+	}
+	// And the migrated form is a fixed point of the v2 codec.
+	re, err := again.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(migrated, re) {
+		t.Fatal("migrated snapshot is not a decode→encode fixed point")
 	}
 }

@@ -102,6 +102,14 @@ type Config struct {
 	Burst      int     `json:"burst,omitempty"`
 	MaxJobs    int     `json:"max_jobs,omitempty"`
 	MaxWorkers int     `json:"max_workers,omitempty"`
+	// BudgetEps/BudgetDelta override the server-wide lifetime privacy
+	// budget for this tenant: the total (ε, δ) its released synthetic
+	// records may ever cost under the composed Theorem 1 guarantee, as
+	// accounted by the server's records-released ledger. 0 means "use the
+	// server default" (including a disabled default); the override only
+	// takes effect when BudgetEps > 0.
+	BudgetEps   float64 `json:"budget_eps,omitempty"`
+	BudgetDelta float64 `json:"budget_delta,omitempty"`
 }
 
 // minKeyLen rejects keys short enough to stumble into by accident. 16 bytes
@@ -156,6 +164,15 @@ func (c *Config) validate() error {
 	if c.MaxJobs < 0 || c.MaxWorkers < 0 {
 		return fmt.Errorf("tenant %q: negative quota", c.Name)
 	}
+	if c.BudgetEps < 0 {
+		return fmt.Errorf("tenant %q: negative budget_eps", c.Name)
+	}
+	if c.BudgetDelta < 0 || c.BudgetDelta >= 1 {
+		return fmt.Errorf("tenant %q: budget_delta must be in [0, 1)", c.Name)
+	}
+	if c.BudgetDelta > 0 && c.BudgetEps == 0 {
+		return fmt.Errorf("tenant %q: budget_delta without budget_eps has no effect; set both", c.Name)
+	}
 	return nil
 }
 
@@ -172,6 +189,8 @@ type Tenant struct {
 	role         Role
 	maxJobs      int
 	maxWorkers   int
+	budgetEps    float64
+	budgetDelta  float64
 	limiter      *bucket
 	workersInUse int
 	pins         int
@@ -228,6 +247,14 @@ func (t *Tenant) MaxWorkers() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.maxWorkers
+}
+
+// Budget returns the tenant's lifetime privacy-budget override. ok=false
+// means no override is configured and the server default applies.
+func (t *Tenant) Budget() (eps, delta float64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.budgetEps, t.budgetDelta, t.budgetEps > 0
 }
 
 // Stats is a point-in-time snapshot of one tenant's counters, exported as
@@ -467,6 +494,8 @@ func (r *Registry) Reload() error {
 		t.role = c.Role
 		t.maxJobs = c.MaxJobs
 		t.maxWorkers = c.MaxWorkers
+		t.budgetEps = c.BudgetEps
+		t.budgetDelta = c.BudgetDelta
 		switch {
 		case c.RatePerSec <= 0:
 			t.limiter = nil

@@ -50,6 +50,26 @@ func TestLoadAndAuthenticate(t *testing.T) {
 	}
 }
 
+func TestBudgetOverride(t *testing.T) {
+	reg, err := Load(writeKeys(t, `{
+  "tenants": [
+    {"name": "capped", "key": "capped-key-0123456789", "role": "writer", "budget_eps": 12.5, "budget_delta": 1e-7},
+    {"name": "free",   "key": "free-key-012345678901", "role": "writer"}
+  ]
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, _ := reg.Authenticate("capped-key-0123456789")
+	if eps, delta, ok := capped.Budget(); !ok || eps != 12.5 || delta != 1e-7 {
+		t.Fatalf("capped budget = (%g, %g, %v)", eps, delta, ok)
+	}
+	free, _ := reg.Authenticate("free-key-012345678901")
+	if _, _, ok := free.Budget(); ok {
+		t.Fatal("tenant without override reports one")
+	}
+}
+
 func TestLoadRejectsBadFiles(t *testing.T) {
 	for name, body := range map[string]string{
 		"empty":          `{}`,
@@ -65,7 +85,10 @@ func TestLoadRejectsBadFiles(t *testing.T) {
 		"dup key": `{"tenants": [
 			{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader"},
 			{"name": "b", "key": "aaaaaaaaaaaaaaaa", "role": "reader"}]}`,
-		"not json": `nope`,
+		"negative budget eps": `{"tenants": [{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader", "budget_eps": -1}]}`,
+		"budget delta >= 1":   `{"tenants": [{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader", "budget_eps": 5, "budget_delta": 1}]}`,
+		"delta without eps":   `{"tenants": [{"name": "a", "key": "aaaaaaaaaaaaaaaa", "role": "reader", "budget_delta": 1e-6}]}`,
+		"not json":            `nope`,
 	} {
 		if _, err := Load(writeKeys(t, body)); err == nil {
 			t.Errorf("%s: Load succeeded, want error", name)

@@ -91,6 +91,16 @@ func (w *Writer) Ints(v []int) {
 	}
 }
 
+// Strings appends a length-prefixed slice of length-prefixed strings.
+// Callers that need deterministic encoding must sort the slice first — the
+// codec preserves order, it does not impose one.
+func (w *Writer) Strings(v []string) {
+	w.Uvarint(uint64(len(v)))
+	for _, s := range v {
+		w.String(s)
+	}
+}
+
 // Reader decodes a payload produced by Writer. Errors are sticky: after the
 // first failure every subsequent read returns a zero value and Err reports
 // the original cause, so decoders can read a whole structure and check the
@@ -275,6 +285,24 @@ func (r *Reader) Ints() []int {
 	out := make([]int, n)
 	for i := range out {
 		out[i] = r.Int()
+	}
+	return out
+}
+
+// ReadStrings reads a length-prefixed slice of strings written by Strings.
+// Each element carries at least its own one-byte length prefix, so the
+// count is bounded by the remaining input like every other length.
+func (r *Reader) ReadStrings() []string {
+	n := r.length(1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.ReadString()
+		if r.err != nil {
+			return nil
+		}
 	}
 	return out
 }

@@ -25,6 +25,8 @@ func TestRoundTrip(t *testing.T) {
 	w.Float64s(nil)
 	w.Uint16s([]uint16{0, 65535, 7})
 	w.Ints([]int{-1, 0, 99})
+	w.Strings([]string{"alice", "", "b-ob"})
+	w.Strings(nil)
 
 	r := NewReader(w.Bytes())
 	if got := r.Uvarint(); got != 0 {
@@ -75,6 +77,12 @@ func TestRoundTrip(t *testing.T) {
 	if got := r.Ints(); len(got) != 3 || got[0] != -1 || got[2] != 99 {
 		t.Errorf("Ints = %v", got)
 	}
+	if got := r.ReadStrings(); len(got) != 3 || got[0] != "alice" || got[1] != "" || got[2] != "b-ob" {
+		t.Errorf("ReadStrings = %v", got)
+	}
+	if got := r.ReadStrings(); len(got) != 0 {
+		t.Errorf("empty ReadStrings = %v", got)
+	}
 	if err := r.Done(); err != nil {
 		t.Fatalf("Done: %v", err)
 	}
@@ -103,6 +111,10 @@ func TestTruncationAndGarbage(t *testing.T) {
 	r := NewReader(w2.Bytes())
 	if got := r.Float64s(); got != nil || r.Err() == nil {
 		t.Fatal("oversized length prefix accepted")
+	}
+	r4 := NewReader(w2.Bytes())
+	if got := r4.ReadStrings(); got != nil || r4.Err() == nil {
+		t.Fatal("oversized string-slice length prefix accepted")
 	}
 
 	// Errors are sticky and reported by Done.
