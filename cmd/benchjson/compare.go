@@ -14,7 +14,7 @@ import (
 // diffs a fresh benchmark run against the checked-in bench/baseline.json
 // and fails when any benchmark slowed past the threshold.
 //
-//	benchjson compare [-threshold 15] [-min-ms 50] baseline.json latest.json
+//	benchjson compare [-threshold 15] [-min-ms 50] [-alloc-threshold 25] baseline.json latest.json
 //
 // Matching is GOMAXPROCS-suffix-insensitive ("BenchmarkX-8" and
 // "BenchmarkX-4" are the same benchmark), so a baseline recorded on one
@@ -35,6 +35,13 @@ import (
 // out against the rest. The cost is that a change slowing *every*
 // benchmark by the same factor is invisible to the normalized gate —
 // -normalize=false restores absolute comparison for same-machine runs.
+//
+// Runs recorded with -benchmem additionally gate on allocs/op. Allocation
+// counts are machine-independent (the same binary allocates the same way
+// everywhere), so the alloc gate never normalizes and tolerates a laxer
+// threshold only because goroutine scheduling can shift a handful of
+// allocations between ops; benchmarks under minGatingAllocs on both sides
+// never alloc-gate for the same reason the time floor exists.
 
 // Delta is one benchmark's baseline/latest comparison.
 type Delta struct {
@@ -50,6 +57,15 @@ type Delta struct {
 	GatePct float64
 	// Gating is false for benchmarks under the noise floor in both runs.
 	Gating bool
+	// OldAllocs/NewAllocs are allocs/op in the baseline and the fresh run
+	// (zero when either run lacked -benchmem).
+	OldAllocs, NewAllocs int64
+	// AllocPct is the relative allocs/op change in percent. Allocation
+	// counts are machine-independent, so there is no normalized variant.
+	AllocPct float64
+	// AllocGating is false when either side lacks allocation data or both
+	// sides sit under the minGatingAllocs floor.
+	AllocGating bool
 }
 
 // Comparison is the full outcome of diffing two reports.
@@ -77,6 +93,18 @@ func (c *Comparison) Regressions(thresholdPct float64) []Delta {
 	return out
 }
 
+// AllocRegressions returns the alloc-gating deltas whose allocs/op grew
+// past thresholdPct.
+func (c *Comparison) AllocRegressions(thresholdPct float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.AllocGating && d.AllocPct > thresholdPct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // procSuffix matches the "-<GOMAXPROCS>" tail go test appends to benchmark
 // names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -91,17 +119,33 @@ func normalizeName(name string) string {
 // median machine-speed factor from; below it the raw ratios gate directly.
 const minNormalized = 3
 
+// minGatingAllocs is the allocation noise floor: a benchmark alloc-gates
+// only if at least one side allocates this often per op. Below it, a couple
+// of allocations shifted by goroutine scheduling would swing the percentage
+// wildly.
+const minGatingAllocs = 100
+
 // minByName collapses repeated benchmark entries (a -count=N run emits N
 // lines per benchmark) to the per-name minimum ns/op — the standard robust
 // timing estimator: contention can only slow an iteration down, so the
-// minimum is the run least disturbed by noisy neighbours.
+// minimum is the run least disturbed by noisy neighbours. Allocs/op is
+// min-collapsed independently: a background timer firing mid-op can only
+// add allocations, never remove them.
 func minByName(results []Result) map[string]Result {
 	m := make(map[string]Result, len(results))
 	for _, r := range results {
 		name := normalizeName(r.Name)
-		if prev, ok := m[name]; !ok || r.NsPerOp < prev.NsPerOp {
+		prev, ok := m[name]
+		if !ok {
 			m[name] = r
+			continue
 		}
+		allocs := min(prev.AllocsPerOp, r.AllocsPerOp)
+		if r.NsPerOp < prev.NsPerOp {
+			prev = r
+		}
+		prev.AllocsPerOp = allocs
+		m[name] = prev
 	}
 	return m
 }
@@ -145,15 +189,21 @@ func Compare(baseline, latest []Result, minNs float64, normalize bool) *Comparis
 			continue
 		}
 		d := Delta{
-			Name:   name,
-			OldNs:  old.NsPerOp,
-			NewNs:  r.NsPerOp,
-			Gating: (old.NsPerOp >= minNs || r.NsPerOp >= minNs) && old.NsPerOp > 0,
+			Name:      name,
+			OldNs:     old.NsPerOp,
+			NewNs:     r.NsPerOp,
+			Gating:    (old.NsPerOp >= minNs || r.NsPerOp >= minNs) && old.NsPerOp > 0,
+			OldAllocs: old.AllocsPerOp,
+			NewAllocs: r.AllocsPerOp,
 		}
 		if old.NsPerOp > 0 {
 			d.Pct = (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
 		}
 		d.GatePct = d.Pct
+		if old.AllocsPerOp > 0 && r.AllocsPerOp > 0 {
+			d.AllocPct = float64(r.AllocsPerOp-old.AllocsPerOp) / float64(old.AllocsPerOp) * 100
+			d.AllocGating = old.AllocsPerOp >= minGatingAllocs || r.AllocsPerOp >= minGatingAllocs
+		}
 		c.Deltas = append(c.Deltas, d)
 	}
 	for name := range base {
@@ -215,8 +265,9 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 15, "fail when any benchmark is this many percent slower than the baseline")
 	minMs := fs.Float64("min-ms", 10, "noise floor: benchmarks under this many ms/op in both runs never gate")
 	normalize := fs.Bool("normalize", true, "divide every ratio by the run's median ratio first, cancelling uniform machine-speed differences")
+	allocThreshold := fs.Float64("alloc-threshold", 25, "fail when any benchmark allocates this many percent more per op than the baseline")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchjson compare [-threshold pct] [-min-ms ms] [-normalize=false] baseline.json latest.json")
+		fmt.Fprintln(stderr, "usage: benchjson compare [-threshold pct] [-min-ms ms] [-alloc-threshold pct] [-normalize=false] baseline.json latest.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -246,8 +297,12 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		if !d.Gating {
 			tag = "  (below noise floor, not gating)"
 		}
-		fmt.Fprintf(stdout, "%-48s %14.0f ns/op -> %14.0f ns/op  raw %+7.1f%%  gate %+7.1f%%%s\n",
-			d.Name, d.OldNs, d.NewNs, d.Pct, d.GatePct, tag)
+		allocs := ""
+		if d.OldAllocs > 0 && d.NewAllocs > 0 {
+			allocs = fmt.Sprintf("  %8d -> %8d allocs/op (%+.1f%%)", d.OldAllocs, d.NewAllocs, d.AllocPct)
+		}
+		fmt.Fprintf(stdout, "%-48s %14.0f ns/op -> %14.0f ns/op  raw %+7.1f%%  gate %+7.1f%%%s%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Pct, d.GatePct, allocs, tag)
 	}
 	for _, name := range c.NewInLatest {
 		fmt.Fprintf(stdout, "%-48s new — not in baseline, not gating (refresh bench/baseline.json to gate it)\n", name)
@@ -261,6 +316,15 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		for _, d := range regs {
 			fmt.Fprintf(stderr, "  %s: %.0f ns/op -> %.0f ns/op (raw %+.1f%%, gate %+.1f%%)\n",
 				d.Name, d.OldNs, d.NewNs, d.Pct, d.GatePct)
+		}
+	}
+	if regs := c.AllocRegressions(*allocThreshold); len(regs) > 0 {
+		failed = true
+		fmt.Fprintf(stderr, "benchjson compare: %d benchmark(s) allocate more than %.0f%% more per op vs %s:\n",
+			len(regs), *allocThreshold, fs.Arg(0))
+		for _, d := range regs {
+			fmt.Fprintf(stderr, "  %s: %d allocs/op -> %d allocs/op (%+.1f%%)\n",
+				d.Name, d.OldAllocs, d.NewAllocs, d.AllocPct)
 		}
 	}
 	if len(c.MissingInLatest) > 0 {

@@ -134,6 +134,61 @@ func TestCompareMinOfN(t *testing.T) {
 	}
 }
 
+// TestCompareAllocGate pins the allocation half of the gate: allocs/op
+// growth past the threshold fails, allocation counts never normalize (they
+// are machine-independent), tiny counts sit under the alloc floor, and a
+// baseline without -benchmem data never alloc-gates.
+func TestCompareAllocGate(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkBig-8", NsPerOp: 100_000_000, AllocsPerOp: 10_000},
+		{Name: "BenchmarkTinyAllocs-8", NsPerOp: 100_000_000, AllocsPerOp: 5},
+		{Name: "BenchmarkNoMem-8", NsPerOp: 100_000_000},
+	}
+	latest := []Result{
+		{Name: "BenchmarkBig-8", NsPerOp: 100_000_000, AllocsPerOp: 14_000},   // +40%
+		{Name: "BenchmarkTinyAllocs-8", NsPerOp: 100_000_000, AllocsPerOp: 8}, // +60%, under floor
+		{Name: "BenchmarkNoMem-8", NsPerOp: 100_000_000, AllocsPerOp: 9_999},
+	}
+	c := Compare(baseline, latest, 50e6, true)
+	regs := c.AllocRegressions(25)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkBig" {
+		t.Fatalf("AllocRegressions(25) = %+v, want just BenchmarkBig", regs)
+	}
+	if regs[0].AllocPct < 39.9 || regs[0].AllocPct > 40.1 {
+		t.Fatalf("alloc pct = %v, want ~40", regs[0].AllocPct)
+	}
+	if regs := c.AllocRegressions(50); len(regs) != 0 {
+		t.Fatalf("AllocRegressions(50) = %+v, want none", regs)
+	}
+	// Time gate is untouched: nothing slowed down.
+	if regs := c.Regressions(15); len(regs) != 0 {
+		t.Fatalf("Regressions(15) = %+v, want none", regs)
+	}
+}
+
+// TestCompareAllocMinOfN pins the -count=N collapse for allocations: a
+// timer-inflated iteration's extra allocs are discarded on both sides.
+func TestCompareAllocMinOfN(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkX-8", NsPerOp: 100_000_000, AllocsPerOp: 1_000},
+		{Name: "BenchmarkX-8", NsPerOp: 110_000_000, AllocsPerOp: 1_004},
+	}
+	latest := []Result{
+		// Fastest iteration carries the inflated alloc count; the min must
+		// mix the other iteration's allocs with this one's time.
+		{Name: "BenchmarkX-8", NsPerOp: 101_000_000, AllocsPerOp: 1_290},
+		{Name: "BenchmarkX-8", NsPerOp: 140_000_000, AllocsPerOp: 1_002},
+	}
+	c := Compare(baseline, latest, 50e6, false)
+	d := c.Deltas[0]
+	if d.NewNs != 101_000_000 || d.NewAllocs != 1_002 || d.OldAllocs != 1_000 {
+		t.Fatalf("min-of-N collapse picked %+v, want 101ms / 1002 vs 1000 allocs", d)
+	}
+	if regs := c.AllocRegressions(25); len(regs) != 0 {
+		t.Fatalf("spiked alloc iteration gated: %+v", regs)
+	}
+}
+
 // TestCompareNormalization pins the self-calibrating gate: a run that is
 // uniformly slower than the baseline machine passes, while one benchmark
 // regressing against an otherwise-uniform shift is caught.

@@ -48,7 +48,11 @@ func (fm *FittedModel) Encode(w io.Writer) error {
 // DecodeFittedModel reads a fitted model written by Encode, validating every
 // layer (schema, bucket maps, graph acyclicity, count-table shapes, seed
 // records) so a corrupt or hand-crafted payload fails here instead of
-// panicking during synthesis.
+// panicking during synthesis. The decoded model's sampling tables are frozen
+// before it is returned — restoring the lock-free serving path Fit set up,
+// and materializing (hence validating) every reachable parameter vector, so
+// a poisoned snapshot that slips past the count checks is still rejected at
+// decode time rather than on a serving goroutine.
 func DecodeFittedModel(r io.Reader) (*FittedModel, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
@@ -92,6 +96,9 @@ func DecodeFittedModel(r io.Reader) (*FittedModel, error) {
 		fm.Splits[i] = rr.Int()
 	}
 	if err := rr.Done(); err != nil {
+		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
+	}
+	if err := fm.Model.Freeze(0); err != nil {
 		return nil, fmt.Errorf("sgf: decoding fitted model: %w", err)
 	}
 	return fm, nil

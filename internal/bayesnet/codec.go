@@ -18,6 +18,13 @@ import (
 // small and makes encoding independent of which configurations a previous
 // process happened to query.
 
+// maxSnapshotCount bounds each persisted count. 2^50 rows is far beyond any
+// dataset this system ingests, while keeping every per-configuration total
+// (≤ card · 2^50 with card ≤ 2^16) comfortably finite, so a decoded model
+// can never materialize an all-zero or non-finite probability vector from
+// overflow alone.
+const maxSnapshotCount = 1 << 50
+
 // EncodeStructure appends the dependency structure: parent sets, the
 // re-sampling order σ, CFS merit scores, and the (possibly noisy) entropy
 // table when present.
@@ -199,6 +206,14 @@ func DecodeModel(r *wire.Reader, meta *dataset.Metadata, bkt *dataset.Bucketizer
 			for _, v := range vec {
 				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 					return nil, fmt.Errorf("bayesnet: snapshot attribute %d has invalid count %g", i, v)
+				}
+				// Counts are row tallies; anything beyond maxSnapshotCount is
+				// not data but an attack on the normalizer (finite counts whose
+				// sum overflows materialize to all-zero probability vectors,
+				// which used to panic Categorical on the serving path).
+				if v > maxSnapshotCount {
+					return nil, fmt.Errorf("bayesnet: snapshot attribute %d has implausible count %g (max %g)",
+						i, v, float64(maxSnapshotCount))
 				}
 			}
 			model.counts[i][uint32(c)] = vec

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/rng"
@@ -72,6 +73,11 @@ type Model struct {
 	// params[i] caches materialized probability vectors per configuration.
 	params []map[uint32][]float64
 	mu     []sync.RWMutex
+
+	// frozen, once published by Freeze, holds immutable flat sampling tables
+	// for every reachable configuration; the serving path reads it with a
+	// single atomic load and never touches mu (see freeze.go).
+	frozen atomic.Pointer[Frozen]
 }
 
 // newEmptyModel builds a model shell over the given schema, bucketizer and

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,6 +53,39 @@ func (m *Mechanism) Once(r *rng.RNG) (dataset.Record, TestResult, bool) {
 	return y, res, res.Pass
 }
 
+// genScratch is a generation worker's reusable state: the candidate record
+// buffer and the prober precomputation, allocated once per worker instead
+// of once per candidate.
+type genScratch struct {
+	rec dataset.Record
+	ps  proberState
+	// probe is the bound method value of ps.proberEval, created once so the
+	// per-candidate test does not allocate a closure.
+	probe func(dataset.Record) float64
+}
+
+func newGenScratch(numAttrs int) *genScratch {
+	sc := &genScratch{rec: make(dataset.Record, numAttrs)}
+	sc.probe = sc.ps.proberEval
+	return sc
+}
+
+// onceInto is Once through the allocation-free hot path: the candidate is
+// generated into sc.rec (the returned record ALIASES sc.rec — clone it to
+// keep it past the next iteration) and the privacy test runs on reused
+// prober state. It consumes exactly the RNG state Once would, and returns
+// exactly the same values.
+func (m *Mechanism) onceInto(hs hotSynthesizer, sc *genScratch, r *rng.RNG) (dataset.Record, TestResult, bool) {
+	seed := m.Seeds.Row(r.Intn(m.Seeds.Len()))
+	hs.generateInto(sc.rec, seed, r)
+	hs.proberInit(sc.rec, &sc.ps)
+	res, err := runTestScratch(&sc.ps, sc.probe, m.Seeds, seed, m.Test, r)
+	if err != nil {
+		panic(err)
+	}
+	return sc.rec, res, res.Pass
+}
+
 // ReleaseBudget returns the per-released-record (ε, δ) differential privacy
 // guarantee of Theorem 1 for this mechanism's parameters, optimized over
 // the trade-off parameter t. The boolean is false for the deterministic
@@ -68,7 +102,10 @@ func (m *Mechanism) ReleaseBudget(maxDelta float64) (privacy.Budget, bool) {
 type GenStats struct {
 	// Candidates is the number of candidate synthetics generated.
 	Candidates int
-	// Released is the number that passed the privacy test.
+	// Released is the number of records released to the caller. For
+	// GenerateCtx this is exactly the privacy-test pass count; for
+	// GenerateTargetStream it is capped at what the sink actually accepted
+	// (trimmed overshoot and failed deliveries are excluded).
 	Released int
 	// SeedRejected counts candidates whose own seed had zero generation
 	// probability (cannot happen with seed-based synthesis; tracked for
@@ -127,6 +164,23 @@ func GenerateCtx(ctx context.Context, mech *Mechanism, cfg GenConfig) (*dataset.
 	if cfg.Candidates < 0 {
 		return nil, GenStats{}, fmt.Errorf("core: negative candidate count %d", cfg.Candidates)
 	}
+	slots := make([]dataset.Record, cfg.Candidates)
+	stats, err := generateSlots(ctx, mech, cfg, slots)
+	released := make([]dataset.Record, 0, stats.Released)
+	for _, y := range slots {
+		if y != nil {
+			released = append(released, y)
+		}
+	}
+	return dataset.FromRecords(mech.Seeds.Meta, released), stats, err
+}
+
+// generateSlots runs the candidate loop of GenerateCtx into caller-owned
+// per-candidate slots (len(slots) == cfg.Candidates, all entries nil on
+// entry): slot i receives candidate i's record iff it passed the privacy
+// test. Letting the caller own the slots is what allows
+// GenerateTargetStream to reuse one allocation across its chunks.
+func generateSlots(ctx context.Context, mech *Mechanism, cfg GenConfig, slots []dataset.Record) (GenStats, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -142,10 +196,10 @@ func GenerateCtx(ctx context.Context, mech *Mechanism, cfg GenConfig) (*dataset.
 		checked  int64
 		rejected int64
 	)
-	// Per-candidate result slots; nil entries (rejected or cancelled) are
-	// squeezed out afterwards, so the released sequence follows candidate
-	// index order whatever the goroutine scheduling.
-	slots := make([]dataset.Record, cfg.Candidates)
+	// Nil slot entries (rejected or cancelled) are squeezed out by the
+	// caller, so the released sequence follows candidate index order
+	// whatever the goroutine scheduling.
+	hs, hot := mech.Synth.(hotSynthesizer)
 	done := ctx.Done()
 	var wg sync.WaitGroup
 	lo := 0
@@ -157,13 +211,33 @@ func GenerateCtx(ctx context.Context, mech *Mechanism, cfg GenConfig) (*dataset.
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var sc *genScratch
+			if hot {
+				sc = newGenScratch(len(mech.Seeds.Meta.Attrs))
+			}
+			r := rng.New(0) // reseeded per candidate below
 			for i := lo; i < hi; i++ {
 				select {
 				case <-done:
 					return
 				default:
 				}
-				y, res, ok := mech.Once(rng.NewStream(cfg.Seed, cfg.IndexOffset+uint64(i)))
+				r.ReseedStream(cfg.Seed, cfg.IndexOffset+uint64(i))
+				var (
+					y   dataset.Record
+					res TestResult
+					ok  bool
+				)
+				if hot {
+					// Scratch-buffer generation: only passing candidates are
+					// cloned out; the rest cost zero allocations.
+					y, res, ok = mech.onceInto(hs, sc, r)
+					if ok {
+						y = y.Clone()
+					}
+				} else {
+					y, res, ok = mech.Once(r)
+				}
 				atomic.AddInt64(&cands, 1)
 				atomic.AddInt64(&checked, int64(res.Checked))
 				if res.SeedProb <= 0 {
@@ -179,13 +253,6 @@ func GenerateCtx(ctx context.Context, mech *Mechanism, cfg GenConfig) (*dataset.
 	}
 	wg.Wait()
 
-	released := make([]dataset.Record, 0, pass)
-	for _, y := range slots {
-		if y != nil {
-			released = append(released, y)
-		}
-	}
-	out := dataset.FromRecords(mech.Seeds.Meta, released)
 	stats := GenStats{
 		Candidates:   int(cands),
 		Released:     int(pass),
@@ -193,7 +260,7 @@ func GenerateCtx(ctx context.Context, mech *Mechanism, cfg GenConfig) (*dataset.
 		CheckedTotal: checked,
 		Elapsed:      time.Since(start),
 	}
-	return out, stats, ctx.Err()
+	return stats, ctx.Err()
 }
 
 // GenerateTarget keeps drawing candidates until `target` records have been
@@ -224,10 +291,17 @@ func GenerateTargetCtx(ctx context.Context, mech *Mechanism, target, maxCandidat
 // (never more than `target` records in total), so a serving layer can
 // stream synthetics while generation is still running. sink runs on the
 // caller's goroutine, in deterministic order; a sink error aborts the run.
-// The batching schedule depends only on the released/candidate counts,
-// which — by the GenerateCtx determinism contract — depend only on the
-// seed, so the concatenation of all batches is identical for any worker
-// count.
+// The batch slice is reused between calls — sinks must not retain it past
+// the call (the records themselves are theirs to keep). The batching
+// schedule depends only on the released/candidate counts, which — by the
+// GenerateCtx determinism contract — depend only on the seed, so the
+// concatenation of all batches is identical for any worker count.
+//
+// The returned GenStats reports Released as the number of records actually
+// delivered to the sink: candidates that passed the privacy test but were
+// trimmed off an overshooting final chunk, or whose batch failed to
+// deliver, are not counted, so ledger settlement and client-visible
+// trailers can use Released directly.
 func GenerateTargetStream(ctx context.Context, mech *Mechanism, target, maxCandidates int, workers int, seed uint64, sink func(batch []dataset.Record) error) (GenStats, error) {
 	if target <= 0 {
 		return GenStats{}, fmt.Errorf("core: target must be positive, got %d", target)
@@ -236,14 +310,13 @@ func GenerateTargetStream(ctx context.Context, mech *Mechanism, target, maxCandi
 		maxCandidates = 100 * target
 	}
 	// maxChunk bounds one batch's candidate count, and with it the size of
-	// GenerateCtx's per-candidate slot allocation, whatever target a caller
-	// asks for.
+	// the per-candidate slot buffer, whatever target a caller asks for.
 	const maxChunk = 1 << 20
 	var total GenStats
-	released := 0
+	var slots, rows []dataset.Record
 	start := time.Now()
 	chunk := target
-	for released < target && total.Candidates < maxCandidates {
+	for total.Released < target && total.Candidates < maxCandidates {
 		remaining := maxCandidates - total.Candidates
 		if chunk > remaining {
 			chunk = remaining
@@ -251,41 +324,59 @@ func GenerateTargetStream(ctx context.Context, mech *Mechanism, target, maxCandi
 		if chunk > maxChunk {
 			chunk = maxChunk
 		}
+		// Reuse the slot buffer across chunks; generateSlots requires the
+		// prefix it writes into to be nil-cleared.
+		if cap(slots) < chunk {
+			slots = make([]dataset.Record, chunk)
+		} else {
+			slots = slots[:chunk]
+			for i := range slots {
+				slots[i] = nil
+			}
+		}
 		// One seed for the whole run; batches advance IndexOffset so every
 		// candidate draws a distinct stream keyed on (seed, global index).
-		batch, stats, err := GenerateCtx(ctx, mech, GenConfig{
+		stats, err := generateSlots(ctx, mech, GenConfig{
 			Candidates:  chunk,
 			Workers:     workers,
 			Seed:        seed,
 			IndexOffset: uint64(total.Candidates),
-		})
+		}, slots)
 		total.Candidates += stats.Candidates
-		total.Released += stats.Released
 		total.CheckedTotal += stats.CheckedTotal
 		total.SeedRejected += stats.SeedRejected
-		rows := batch.Rows()
-		if keep := target - released; len(rows) > keep {
-			rows = rows[:keep]
-		}
-		released += len(rows)
-		if err != nil {
-			// Cancelled mid-chunk: best-effort delivery of the partial
-			// batch, so "what was released so far" really reaches the
-			// caller; the sink's own error is moot at this point.
-			if len(rows) > 0 {
-				_ = sink(rows)
+		rows = rows[:0]
+		keep := target - total.Released
+		for _, y := range slots {
+			if y != nil {
+				rows = append(rows, y)
+				if len(rows) == keep {
+					break // overshoot: trimmed rows are never delivered, never counted
+				}
 			}
+		}
+		var sinkErr error
+		if len(rows) > 0 {
+			// Deliver even when the chunk was cancelled mid-run, so "what was
+			// released so far" really reaches the caller — but count only what
+			// the sink accepted: a failed client write is not a release.
+			if sinkErr = sink(rows); sinkErr == nil {
+				total.Released += len(rows)
+			}
+		}
+		if err != nil {
 			total.Elapsed = time.Since(start)
+			if sinkErr != nil {
+				return total, errors.Join(err, sinkErr)
+			}
 			return total, err
 		}
-		if len(rows) > 0 {
-			if err := sink(rows); err != nil {
-				total.Elapsed = time.Since(start)
-				return total, err
-			}
+		if sinkErr != nil {
+			total.Elapsed = time.Since(start)
+			return total, sinkErr
 		}
 		// Adapt the next chunk to the observed pass rate.
-		need := target - released
+		need := target - total.Released
 		if need > 0 {
 			rate := stats.PassRate()
 			if rate < 0.01 {
@@ -295,8 +386,8 @@ func GenerateTargetStream(ctx context.Context, mech *Mechanism, target, maxCandi
 		}
 	}
 	total.Elapsed = time.Since(start)
-	if released < target {
-		return total, fmt.Errorf("core: released only %d/%d records after %d candidates", released, target, total.Candidates)
+	if total.Released < target {
+		return total, fmt.Errorf("core: released only %d/%d records after %d candidates", total.Released, target, total.Candidates)
 	}
 	return total, nil
 }

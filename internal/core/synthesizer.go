@@ -58,14 +58,31 @@ func NewSeedSynthesizer(model *bayesnet.Model, omegaLo, omegaHi int) (*SeedSynth
 // ω attributes in σ order, each conditioned on the current (partially
 // updated) record.
 func (s *SeedSynthesizer) Generate(seed dataset.Record, r *rng.RNG) dataset.Record {
+	rec := make(dataset.Record, len(seed))
+	s.generateInto(rec, seed, r)
+	return rec
+}
+
+// generateInto is Generate without the output allocation: it overwrites dst
+// (same length as seed) with the synthetic record. It draws through the
+// model's frozen tables when published — same RNG consumption, same values,
+// no locks (see bayesnet/freeze.go).
+func (s *SeedSynthesizer) generateInto(dst, seed dataset.Record, r *rng.RNG) {
 	m := len(seed)
 	omega := s.OmegaLo + r.Intn(s.OmegaHi-s.OmegaLo+1)
-	rec := seed.Clone()
-	for idx := m - omega; idx < m; idx++ {
-		attr := s.Model.Struct.Order[idx]
-		rec[attr] = s.Model.SampleAttr(attr, rec, r)
+	copy(dst, seed)
+	order := s.Model.Struct.Order
+	if f := s.Model.Frozen(); f != nil {
+		for idx := m - omega; idx < m; idx++ {
+			attr := order[idx]
+			dst[attr] = f.SampleAttr(attr, dst, r)
+		}
+		return
 	}
-	return rec
+	for idx := m - omega; idx < m; idx++ {
+		attr := order[idx]
+		dst[attr] = s.Model.SampleAttr(attr, dst, r)
+	}
 }
 
 // GenProb returns Pr{y = M(d)} exactly.
@@ -84,48 +101,152 @@ func (s *SeedSynthesizer) GenProb(y, d dataset.Record) float64 {
 	return s.Prober(y)(d)
 }
 
-// Prober precomputes, for the fixed candidate y, the conditional tail
+// proberState holds the per-candidate precomputation of a prober so the
+// generation pipeline can reuse one allocation per worker instead of
+// allocating tails, sums, and a closure for every candidate. A state is
+// (re)filled by proberInit and read by proberEval; it is owned by a single
+// goroutine.
+type proberState struct {
+	y     dataset.Record
+	order []int
+	// tail[idx] = Π_{u=idx..m-1} Pr{y_σ(u) | y}; tail[m] = 1.
+	tail []float64
+	// cum[j] = Σ_{idx=loIdx..j} tail[idx] for j in [loIdx, hiIdx].
+	cum          []float64
+	loIdx, hiIdx int
+	weight       float64
+	// constP, when ≥ 0, short-circuits evaluation to a seed-independent
+	// probability (the marginal synthesizer's case).
+	constP float64
+	// match memoizes the privacy test's partition comparison per agreement
+	// bucket (see initPartitions): match[j-loIdx] reports whether the
+	// probability weight·cum[j] lies in the seed's partition. constMatch is
+	// the constP analogue.
+	match      []bool
+	constMatch bool
+}
+
+// grow returns buf resized to n, reusing its backing array when possible.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// proberInit precomputes, for the fixed candidate y, the conditional tail
 // products and their partial mixture sums, so each seed evaluation costs
-// one σ-prefix comparison plus a table lookup.
-func (s *SeedSynthesizer) Prober(y dataset.Record) func(d dataset.Record) float64 {
+// one σ-prefix comparison plus a table lookup. Conditionals are read
+// through the frozen tables when published — the identical float64 values
+// the lazy path materializes.
+func (s *SeedSynthesizer) proberInit(y dataset.Record, ps *proberState) {
 	m := len(y)
 	order := s.Model.Struct.Order
-	// tail[idx] = Π_{u=idx..m-1} Pr{y_σ(u) | y}; tail[m] = 1.
-	tail := make([]float64, m+1)
-	tail[m] = 1
-	for idx := m - 1; idx >= 0; idx-- {
-		attr := order[idx]
-		tail[idx] = tail[idx+1] * s.Model.CondProb(attr, y[attr], y)
+	ps.y, ps.order, ps.constP = y, order, -1
+	ps.tail = grow(ps.tail, m+1)
+	ps.tail[m] = 1
+	if f := s.Model.Frozen(); f != nil {
+		for idx := m - 1; idx >= 0; idx-- {
+			attr := order[idx]
+			ps.tail[idx] = ps.tail[idx+1] * f.CondProb(attr, y[attr], y)
+		}
+	} else {
+		for idx := m - 1; idx >= 0; idx-- {
+			attr := order[idx]
+			ps.tail[idx] = ps.tail[idx+1] * s.Model.CondProb(attr, y[attr], y)
+		}
 	}
 	// Keep positions idx = m−ω for ω ∈ [lo, hi] run over [m−hi, m−lo].
-	loIdx, hiIdx := m-s.OmegaHi, m-s.OmegaLo
-	// cum[j] = Σ_{idx=loIdx..j} tail[idx] for j in [loIdx, hiIdx].
-	cum := make([]float64, hiIdx+1)
+	ps.loIdx, ps.hiIdx = m-s.OmegaHi, m-s.OmegaLo
+	ps.cum = grow(ps.cum, ps.hiIdx+1)
 	run := 0.0
-	for j := loIdx; j <= hiIdx; j++ {
-		run += tail[j]
-		cum[j] = run
+	for j := ps.loIdx; j <= ps.hiIdx; j++ {
+		run += ps.tail[j]
+		ps.cum[j] = run
 	}
-	weight := 1 / float64(s.OmegaHi-s.OmegaLo+1)
+	ps.weight = 1 / float64(s.OmegaHi-s.OmegaLo+1)
+}
 
-	return func(d dataset.Record) float64 {
-		// a = length of the σ-prefix on which d and y agree.
-		a := 0
-		for ; a < m; a++ {
-			if d[order[a]] != y[order[a]] {
-				break
-			}
+// agreeBucket maps a record to its mixture bucket: the σ-prefix agreement
+// length with y, clamped to [loIdx, hiIdx], or -1 when the record agrees on
+// too short a prefix to be a possible seed. Because the bucket clamps at
+// hiIdx, agreement beyond σ-position hiIdx cannot change the result and the
+// comparison stops there (hiIdx = m−OmegaLo < m, so the bound is in range).
+func (ps *proberState) agreeBucket(d dataset.Record) int {
+	// a = length of the σ-prefix on which d and y agree, capped at hiIdx+1.
+	stop := ps.hiIdx + 1
+	a := 0
+	for ; a < stop; a++ {
+		if d[ps.order[a]] != ps.y[ps.order[a]] {
+			break
 		}
-		// Seeds must agree on all kept attributes: m−ω ≤ a.
-		j := a
-		if j > hiIdx {
-			j = hiIdx
-		}
-		if j < loIdx {
-			return 0
-		}
-		return weight * cum[j]
 	}
+	// Seeds must agree on all kept attributes: m−ω ≤ a.
+	j := a
+	if j > ps.hiIdx {
+		j = ps.hiIdx
+	}
+	if j < ps.loIdx {
+		return -1
+	}
+	return j
+}
+
+// proberEval returns Pr{y = M(d)} for the y the state was initialized with.
+func (ps *proberState) proberEval(d dataset.Record) float64 {
+	if ps.constP >= 0 {
+		return ps.constP
+	}
+	j := ps.agreeBucket(d)
+	if j < 0 {
+		return 0
+	}
+	return ps.weight * ps.cum[j]
+}
+
+// initPartitions memoizes, for every value the prober can return, whether
+// it lies in partition `part` — the scan of the privacy test then needs no
+// logarithms at all. The memo feeds the exact probability values proberEval
+// would produce through the same PartitionIndex, so the decisions are
+// bit-identical to testing each record individually.
+func (ps *proberState) initPartitions(part int, gamma float64) {
+	if ps.constP >= 0 {
+		i, ok := PartitionIndex(ps.constP, gamma)
+		ps.constMatch = ps.constP > 0 && ok && i == part
+		return
+	}
+	n := ps.hiIdx - ps.loIdx + 1
+	if cap(ps.match) < n {
+		ps.match = make([]bool, n)
+	} else {
+		ps.match = ps.match[:n]
+	}
+	for j := 0; j < n; j++ {
+		p := ps.weight * ps.cum[ps.loIdx+j]
+		i, ok := PartitionIndex(p, gamma)
+		ps.match[j] = p > 0 && ok && i == part
+	}
+}
+
+// plausibleEval reports whether the record is a plausible seed under the
+// partition initPartitions was called with.
+func (ps *proberState) plausibleEval(d dataset.Record) bool {
+	if ps.constP >= 0 {
+		return ps.constMatch
+	}
+	j := ps.agreeBucket(d)
+	if j < 0 {
+		return false
+	}
+	return ps.match[j-ps.loIdx]
+}
+
+// Prober precomputes for the fixed candidate y and returns a closure; the
+// generation pipeline uses proberInit/proberEval directly to reuse state.
+func (s *SeedSynthesizer) Prober(y dataset.Record) func(d dataset.Record) float64 {
+	ps := new(proberState)
+	s.proberInit(y, ps)
+	return ps.proberEval
 }
 
 // MarginalSynthesizer is the baseline of §3.2: every attribute is sampled
@@ -148,16 +269,44 @@ func NewMarginalSynthesizer(model *bayesnet.Model) (*MarginalSynthesizer, error)
 
 // Generate samples every attribute from its marginal; the seed is unused.
 func (s *MarginalSynthesizer) Generate(_ dataset.Record, r *rng.RNG) dataset.Record {
-	return s.Model.SampleRecord(r)
+	rec := make(dataset.Record, len(s.Model.Meta.Attrs))
+	s.generateInto(rec, nil, r)
+	return rec
+}
+
+// generateInto is Generate without the output allocation; the seed is
+// unused. Like Model.SampleRecord it samples in σ order (which for an
+// edgeless structure is just an attribute enumeration).
+func (s *MarginalSynthesizer) generateInto(dst, _ dataset.Record, r *rng.RNG) {
+	if f := s.Model.Frozen(); f != nil {
+		for _, attr := range s.Model.Struct.Order {
+			dst[attr] = f.SampleAttr(attr, dst, r)
+		}
+		return
+	}
+	for _, attr := range s.Model.Struct.Order {
+		dst[attr] = s.Model.SampleAttr(attr, dst, r)
+	}
 }
 
 // GenProb returns Π_i Pr{y_i}, independent of the seed.
 func (s *MarginalSynthesizer) GenProb(y, _ dataset.Record) float64 {
 	p := 1.0
+	if f := s.Model.Frozen(); f != nil {
+		for attr := range s.Model.Meta.Attrs {
+			p *= f.CondProb(attr, y[attr], y)
+		}
+		return p
+	}
 	for attr := range s.Model.Meta.Attrs {
 		p *= s.Model.CondProb(attr, y[attr], y)
 	}
 	return p
+}
+
+// proberInit fills the state with the constant seed-independent probability.
+func (s *MarginalSynthesizer) proberInit(y dataset.Record, ps *proberState) {
+	ps.constP = s.GenProb(y, nil)
 }
 
 // Prober returns a constant function: all seeds are equally plausible.
@@ -166,7 +315,22 @@ func (s *MarginalSynthesizer) Prober(y dataset.Record) func(d dataset.Record) fl
 	return func(dataset.Record) float64 { return p }
 }
 
+// hotSynthesizer is the allocation-free fast path the generation pipeline
+// takes when the synthesizer supports it: candidates are generated into a
+// per-worker scratch record and probers reuse per-worker state, so steady
+// state allocates only for records that actually pass the privacy test.
+// Both methods must consume exactly the RNG state and produce exactly the
+// values of their allocating counterparts — the determinism contract of
+// GenerateCtx rides on it.
+type hotSynthesizer interface {
+	Synthesizer
+	generateInto(dst, seed dataset.Record, r *rng.RNG)
+	proberInit(y dataset.Record, ps *proberState)
+}
+
 var (
-	_ Synthesizer = (*SeedSynthesizer)(nil)
-	_ Synthesizer = (*MarginalSynthesizer)(nil)
+	_ Synthesizer    = (*SeedSynthesizer)(nil)
+	_ Synthesizer    = (*MarginalSynthesizer)(nil)
+	_ hotSynthesizer = (*SeedSynthesizer)(nil)
+	_ hotSynthesizer = (*MarginalSynthesizer)(nil)
 )

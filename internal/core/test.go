@@ -101,6 +101,13 @@ type TestResult struct {
 // the scan stops early once the threshold is met, MaxPlausible plausible
 // seeds are found, or MaxCheckPlausible records have been examined.
 func RunTest(syn Synthesizer, data *dataset.Dataset, seed, y dataset.Record, cfg TestConfig, r *rng.RNG) (TestResult, error) {
+	return runTestProbe(syn.Prober(y), data, seed, cfg, r)
+}
+
+// runTestProbe is RunTest over an already-initialized prober for the
+// candidate, letting the generation pipeline reuse per-worker prober state
+// instead of building a fresh closure per candidate.
+func runTestProbe(prob func(d dataset.Record) float64, data *dataset.Dataset, seed dataset.Record, cfg TestConfig, r *rng.RNG) (TestResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return TestResult{}, err
 	}
@@ -109,7 +116,6 @@ func RunTest(syn Synthesizer, data *dataset.Dataset, seed, y dataset.Record, cfg
 		return TestResult{}, fmt.Errorf("core: privacy test on empty dataset")
 	}
 
-	prob := syn.Prober(y)
 	res := TestResult{SeedProb: prob(seed)}
 
 	// Step 1/2 of the tests: the partition of the actual seed.
@@ -160,6 +166,76 @@ func RunTest(syn Synthesizer, data *dataset.Dataset, seed, y dataset.Record, cfg
 				if float64(res.PlausibleCount) >= res.Threshold || res.PlausibleCount >= maxPlausible {
 					break
 				}
+			}
+		}
+		idx += stride
+		if idx >= n {
+			idx -= n
+		}
+	}
+
+	res.Pass = float64(res.PlausibleCount) >= res.Threshold
+	return res, nil
+}
+
+// runTestScratch is runTestProbe over reusable prober state, with the
+// per-record partition test replaced by the prober's memoized value-lattice
+// lookup (proberState.initPartitions): identical RNG consumption, identical
+// decisions, no logarithms in the scan.
+func runTestScratch(ps *proberState, probe func(d dataset.Record) float64, data *dataset.Dataset, seed dataset.Record, cfg TestConfig, r *rng.RNG) (TestResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TestResult{}, err
+	}
+	n := data.Len()
+	if n == 0 {
+		return TestResult{}, fmt.Errorf("core: privacy test on empty dataset")
+	}
+
+	res := TestResult{SeedProb: probe(seed)}
+
+	part, ok := PartitionIndex(res.SeedProb, cfg.Gamma)
+	if !ok {
+		res.Threshold = float64(cfg.K)
+		return res, nil
+	}
+	res.Partition = part
+
+	res.Threshold = float64(cfg.K)
+	if cfg.Randomized {
+		res.Threshold += r.Laplace(1 / cfg.Eps0)
+	}
+
+	ps.initPartitions(part, cfg.Gamma)
+
+	maxCheck := n
+	if cfg.MaxCheckPlausible > 0 && cfg.MaxCheckPlausible < n {
+		maxCheck = cfg.MaxCheckPlausible
+	}
+	maxPlausible := math.MaxInt
+	if cfg.MaxPlausible > 0 {
+		maxPlausible = cfg.MaxPlausible
+	}
+
+	start := r.Intn(n)
+	stride := 1
+	if n > 2 {
+		stride = 1 + r.Intn(n-1)
+		for gcd(stride, n) != 1 {
+			stride++
+			if stride >= n {
+				stride = 1
+			}
+		}
+	}
+
+	idx := start
+	for res.Checked < maxCheck {
+		da := data.Row(idx)
+		res.Checked++
+		if ps.plausibleEval(da) {
+			res.PlausibleCount++
+			if float64(res.PlausibleCount) >= res.Threshold || res.PlausibleCount >= maxPlausible {
+				break
 			}
 		}
 		idx += stride

@@ -229,6 +229,15 @@ func BuildPipelineCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*
 	if err != nil {
 		return nil, err
 	}
+	// Freeze both models' sampling tables: every ω variant and the marginals
+	// baseline below synthesize against them, so the whole evaluation runs on
+	// the lock-free frozen path.
+	if err := p.Model.Freeze(0); err != nil {
+		return nil, err
+	}
+	if err := p.MarginalModel.Freeze(0); err != nil {
+		return nil, err
+	}
 	p.ModelLearnTime = time.Since(learnStart)
 	if err := checkCtx(ctx); err != nil {
 		return nil, err

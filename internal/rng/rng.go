@@ -37,20 +37,25 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// New returns a generator seeded from the given seed. Two generators with
-// the same seed produce identical streams.
-func New(seed uint64) *RNG {
-	r := &RNG{}
+// seedState fills s with the xoshiro256 state for the given seed.
+func seedState(s *[4]uint64, seed uint64) {
 	st := seed
-	for i := range r.s {
-		r.s[i] = splitmix64(&st)
+	for i := range s {
+		s[i] = splitmix64(&st)
 	}
 	// xoshiro256 must not be seeded with the all-zero state; SplitMix64
 	// cannot produce four zero outputs in a row, so this is already
 	// guaranteed, but keep a defensive check.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 1
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 1
 	}
+}
+
+// New returns a generator seeded from the given seed. Two generators with
+// the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	seedState(&r.s, seed)
 	return r
 }
 
@@ -77,10 +82,19 @@ func NewHashed(parts ...string) *RNG {
 // pipeline keys candidate synthesis on the candidate index this way, which
 // is what makes its output independent of the worker count.
 func NewStream(seed, idx uint64) *RNG {
+	r := &RNG{}
+	r.ReseedStream(seed, idx)
+	return r
+}
+
+// ReseedStream resets r in place to exactly the state NewStream(seed, idx)
+// would return, so per-item hot loops can reuse one generator per worker
+// instead of allocating one per item.
+func (r *RNG) ReseedStream(seed, idx uint64) {
 	st := seed
 	root := splitmix64(&st)
 	st = root ^ (idx+1)*0x9e3779b97f4a7c15
-	return New(splitmix64(&st))
+	seedState(&r.s, splitmix64(&st))
 }
 
 // Split derives a new independent generator from r, advancing r. Streams

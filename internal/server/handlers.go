@@ -368,10 +368,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 		writeError(w, http.StatusForbidden, "%v", aerr)
 		return
 	}
-	delivered := 0
+	released := 0
 	defer func() {
-		settle(delivered)
-		if delivered > 0 && s.statelog != nil {
+		settle(released)
+		if released > 0 && s.statelog != nil {
 			s.statelog.NoteLedger()
 		}
 	}()
@@ -447,16 +447,17 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 		if _, werr := w.Write(buf.Bytes()); werr != nil {
 			return werr
 		}
-		delivered += len(batch)
 		if flusher != nil {
 			flusher.Flush()
 		}
 		return nil
 	})
-	// Count the records actually streamed, keeping the counter consistent
-	// with the X-Sgf-Released trailer (the run can release a few more than
-	// the target in its final batch; those are truncated, not delivered).
-	s.metrics.Generated(delivered, stats.Candidates, stats.CheckedTotal)
+	// GenStats.Released counts exactly the records the sink accepted — the
+	// stream caps it at the target and excludes failed deliveries — so the
+	// metrics, the X-Sgf-Released trailer and the ledger settle all read the
+	// one number the client actually observed.
+	released = stats.Released
+	s.metrics.Generated(stats.Released, stats.Candidates, stats.CheckedTotal)
 	if err != nil && ctx.Err() == nil {
 		// The status line is gone; surface the failure as a final NDJSON
 		// error line so clients can distinguish truncation from success.
@@ -466,10 +467,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 		buf.WriteByte('\n')
 		w.Write(buf.Bytes())
 	}
-	// Released reports the records actually streamed (the generation run
-	// can release a few more than the target in its final batch).
 	h.Set("X-Sgf-Candidates", fmt.Sprint(stats.Candidates))
-	h.Set("X-Sgf-Released", fmt.Sprint(delivered))
+	h.Set("X-Sgf-Released", fmt.Sprint(stats.Released))
 	h.Set("X-Sgf-Pass-Rate", fmt.Sprintf("%.6f", stats.PassRate()))
 	h.Set("X-Sgf-Elapsed-Ms", fmt.Sprint(stats.Elapsed.Milliseconds()))
 }

@@ -48,7 +48,7 @@ func testCSV(n int) string {
 }
 
 // newServer builds the handler or fails the test.
-func newServer(t *testing.T, cfg server.Config) *server.Server {
+func newServer(t testing.TB, cfg server.Config) *server.Server {
 	t.Helper()
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -61,14 +61,14 @@ func newServer(t *testing.T, cfg server.Config) *server.Server {
 // temporary snapshot store so the persistence paths (write-through
 // snapshotting, warm-start plumbing) run under the race detector alongside
 // everything else.
-func newTestServer(t *testing.T) *httptest.Server {
+func newTestServer(t testing.TB) *httptest.Server {
 	t.Helper()
 	ts := httptest.NewServer(newServer(t, server.Config{PoolSize: 8, CacheCap: 4, StoreDir: t.TempDir()}))
 	t.Cleanup(ts.Close)
 	return ts
 }
 
-func postJSON(t *testing.T, url string, body any) *http.Response {
+func postJSON(t testing.TB, url string, body any) *http.Response {
 	t.Helper()
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -81,7 +81,7 @@ func postJSON(t *testing.T, url string, body any) *http.Response {
 	return resp
 }
 
-func decodeJSON(t *testing.T, resp *http.Response, v any) {
+func decodeJSON(t testing.TB, resp *http.Response, v any) {
 	t.Helper()
 	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
@@ -91,7 +91,7 @@ func decodeJSON(t *testing.T, resp *http.Response, v any) {
 
 // fitTestModel uploads the test CSV and returns the model ID (fitting may
 // still be in progress; synthesize waits for it).
-func fitTestModel(t *testing.T, ts *httptest.Server) string {
+func fitTestModel(t testing.TB, ts *httptest.Server) string {
 	t.Helper()
 	resp := postJSON(t, ts.URL+"/v1/models", map[string]any{
 		"metadata": json.RawMessage(testMetaJSON),
@@ -122,7 +122,7 @@ func fitTestModel(t *testing.T, ts *httptest.Server) string {
 
 // synthesize posts a synthesize request and returns the NDJSON body and the
 // response for header/trailer inspection.
-func synthesize(t *testing.T, ts *httptest.Server, id string, req map[string]any) (string, *http.Response) {
+func synthesize(t testing.TB, ts *httptest.Server, id string, req map[string]any) (string, *http.Response) {
 	t.Helper()
 	resp := postJSON(t, ts.URL+"/v1/models/"+id+"/synthesize", req)
 	body, err := io.ReadAll(resp.Body)

@@ -229,6 +229,14 @@ func Fit(data *Dataset, opts FitOptions) (*FittedModel, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Freeze the sampling tables up front: Fit is the expensive once-per-model
+	// half of the pipeline, so every Synthesize call against the fitted model
+	// serves from the lock-free frozen path. Frozen output is byte-identical
+	// to the lazy path (pinned by the determinism suite), so this changes
+	// speed, never bytes.
+	if err := fm.Model.Freeze(0); err != nil {
+		return nil, fmt.Errorf("sgf: freezing model: %w", err)
+	}
 	return fm, nil
 }
 
