@@ -7,6 +7,7 @@
 //
 //	go test -bench=. -benchtime=1x -run='^$' . | benchjson -o BENCH_1.json
 //	benchjson compare [-threshold 15] [-min-ms 10] bench/baseline.json BENCH_1.json
+//	benchjson ratio [-max-pct 5] BENCH_1.json BenchmarkSynthesize BenchmarkSynthesizeInstrumented
 //
 // Lines that are not benchmark results (logs, PASS/ok trailers) are
 // ignored; a FAIL line makes the tool exit non-zero so a broken benchmark
@@ -112,6 +113,9 @@ func parseLine(line string) (Result, bool) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "ratio" {
+		os.Exit(runRatio(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()

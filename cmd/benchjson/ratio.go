@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// This file implements `benchjson ratio`: the within-run overhead gate.
+//
+//	benchjson ratio [-max-pct 5] [-max-alloc-delta 16000] run.json BenchmarkBase BenchmarkVariant
+//
+// Where `compare` diffs a fresh run against a checked-in baseline (and so
+// must calibrate away machine-speed differences), `ratio` compares two
+// benchmarks inside the *same* run file — same machine, same load, same
+// binary — so their min-of-N ns/op ratio is directly meaningful. CI uses it
+// to pin the cost of instrumentation: BenchmarkSynthesizeInstrumented (the
+// synthesize path with access logging and tracing on) must stay within
+// -max-pct percent of BenchmarkSynthesize, and may allocate at most
+// -max-alloc-delta more per op (one alloc per streamed record).
+//
+// Both sides collapse to the per-name minimum first, exactly like compare:
+// with -count=N the minimum is the iteration least disturbed by noisy
+// neighbours, and the two minima were measured interleaved in one `go test`
+// invocation, so a load spike hits both or neither.
+
+// runRatio is the `ratio` subcommand entry point. It returns the process
+// exit code.
+func runRatio(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson ratio", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxPct := fs.Float64("max-pct", 5, "fail when the variant is this many percent slower than the base benchmark")
+	maxAllocDelta := fs.Int64("max-alloc-delta", 16000, "fail when the variant allocates this many more times per op than the base (requires -benchmem data on both sides)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchjson ratio [-max-pct pct] [-max-alloc-delta n] run.json BenchmarkBase BenchmarkVariant")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 3 {
+		fs.Usage()
+		return 2
+	}
+	rep, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson ratio:", err)
+		return 2
+	}
+	mins := minByName(rep.Benchmarks)
+	baseName := normalizeName(fs.Arg(1))
+	variantName := normalizeName(fs.Arg(2))
+	base, ok := mins[baseName]
+	if !ok {
+		fmt.Fprintf(stderr, "benchjson ratio: benchmark %q not in %s\n", baseName, fs.Arg(0))
+		return 2
+	}
+	variant, ok := mins[variantName]
+	if !ok {
+		fmt.Fprintf(stderr, "benchjson ratio: benchmark %q not in %s\n", variantName, fs.Arg(0))
+		return 2
+	}
+	if base.NsPerOp <= 0 {
+		fmt.Fprintf(stderr, "benchjson ratio: benchmark %q has no timing data\n", baseName)
+		return 2
+	}
+
+	pct := (variant.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+	allocDelta := variant.AllocsPerOp - base.AllocsPerOp
+	fmt.Fprintf(stdout, "%s: %.0f ns/op, %d allocs/op\n", baseName, base.NsPerOp, base.AllocsPerOp)
+	fmt.Fprintf(stdout, "%s: %.0f ns/op, %d allocs/op\n", variantName, variant.NsPerOp, variant.AllocsPerOp)
+	fmt.Fprintf(stdout, "overhead: %+.1f%% time, %+d allocs/op\n", pct, allocDelta)
+
+	failed := false
+	if pct > *maxPct {
+		failed = true
+		fmt.Fprintf(stderr, "benchjson ratio: %s is %.1f%% slower than %s (limit %.0f%%)\n",
+			variantName, pct, baseName, *maxPct)
+	}
+	// The alloc gate needs -benchmem on at least the base side to mean
+	// anything; a zero base with a nonzero variant still gates (the delta is
+	// what the flag bounds, not the ratio).
+	if allocDelta > *maxAllocDelta {
+		failed = true
+		fmt.Fprintf(stderr, "benchjson ratio: %s allocates %d more per op than %s (limit %d)\n",
+			variantName, allocDelta, baseName, *maxAllocDelta)
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson ratio: %s within %.0f%% and %d allocs/op of %s\n",
+		variantName, *maxPct, *maxAllocDelta, baseName)
+	return 0
+}

@@ -1,0 +1,125 @@
+// Command obscheck is a repo-local vet check guarding the observability
+// middleware: every /v1/* request must flow through Server.ServeHTTP (which
+// opens the trace, stamps X-Request-Id, times the request into the latency
+// histogram and emits the access-log line) before reaching a handler.
+//
+// The invariant it enforces is structural: handler methods (named handle*)
+// may be referenced only from the dispatcher (route), from the middleware
+// itself (ServeHTTP), or from other handle* methods — never wired directly
+// to a mux or called from helper code, which would bypass instrumentation.
+// route in turn may be called only from ServeHTTP, so there is no second
+// uninstrumented dispatch path.
+//
+//	go run ./cmd/obscheck ./internal/server
+//
+// The check is purely syntactic (go/parser, no type checking): it flags any
+// selector expression x.handleFoo — call or method value — outside an
+// allowed enclosing function. That over-approximates (a handle* method on
+// some other type would also be flagged) but the server package has exactly
+// one handler surface, and a false positive there is a naming collision
+// worth renaming anyway. Test files are skipped: tests exercise handlers
+// through the public HTTP surface.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// allowedCaller reports whether a function body may reference handler
+// methods directly.
+func allowedCaller(name string) bool {
+	return name == "route" || name == "ServeHTTP" || strings.HasPrefix(name, "handle")
+}
+
+// violation is one flagged reference.
+type violation struct {
+	pos  token.Position
+	what string
+}
+
+// checkFile walks one parsed file and appends violations.
+func checkFile(fset *token.FileSet, file *ast.File, out *[]violation) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		caller := fn.Name.Name
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only receiver-style selectors (s.handleFoo) matter; package
+			// selectors (pkg.handleFoo) cannot name an unexported method of
+			// this package from outside it anyway.
+			name := sel.Sel.Name
+			if strings.HasPrefix(name, "handle") && !allowedCaller(caller) {
+				*out = append(*out, violation{
+					pos:  fset.Position(sel.Pos()),
+					what: fmt.Sprintf("%s references handler %s outside route/ServeHTTP (bypasses instrumentation middleware)", caller, name),
+				})
+			}
+			if name == "route" && caller != "ServeHTTP" {
+				*out = append(*out, violation{
+					pos:  fset.Position(sel.Pos()),
+					what: fmt.Sprintf("%s calls route directly; only ServeHTTP may dispatch (bypasses instrumentation middleware)", caller),
+				})
+			}
+			return true
+		})
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	var violations []violation
+	sawHandlers := false
+	fset := token.NewFileSet()
+	for _, dir := range os.Args[1:] {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "obscheck:", err)
+				os.Exit(2)
+			}
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fn.Name.Name, "handle") && fn.Recv != nil {
+					sawHandlers = true
+				}
+			}
+			checkFile(fset, file, &violations)
+		}
+	}
+	// A run that found no handler methods at all is a misconfiguration (wrong
+	// directory), not a clean bill of health.
+	if !sawHandlers {
+		fmt.Fprintln(os.Stderr, "obscheck: no handle* methods found in the given packages; wrong directory?")
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", v.pos, v.what)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("obscheck: all handler references flow through the instrumentation middleware")
+}

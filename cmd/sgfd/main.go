@@ -10,14 +10,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof-addr listener only
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/tenant"
 )
@@ -37,7 +39,9 @@ func main() {
 		keysFile    = flag.String("keys-file", "", "tenant key file (JSON): enables API-key authentication, roles and per-tenant rate limits on /v1/*; SIGHUP reloads it (empty = no authentication)")
 		budgetEps   = flag.Float64("tenant-budget-eps", 0, "default lifetime privacy budget ε per tenant: synthesize requests that would push a tenant's composed (ε, δ) past it get 403 (0 = no enforcement; the records-released ledger still counts, and persists in -store-dir)")
 		budgetDelta = flag.Float64("tenant-budget-delta", 1e-6, "default lifetime privacy budget δ per tenant (used with -tenant-budget-eps)")
-		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it loopback-only or firewalled")
+		quiet       = flag.Bool("quiet", false, "disable per-request access-log lines (startup/error lines still log)")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -45,20 +49,27 @@ func main() {
 		fmt.Println(buildinfo.Version)
 		return
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "sgfd: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
 
-	logger := log.New(os.Stderr, "sgfd ", log.LstdFlags)
-	reqLog := logger
-	if *quiet {
-		reqLog = nil
+	logger := obs.NewLogger(os.Stderr, *logFormat == "json", slog.LevelInfo)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.String("error", err.Error()))
+		os.Exit(1)
 	}
 
 	var auth *tenant.Registry
 	if *keysFile != "" {
 		var err error
 		if auth, err = tenant.Load(*keysFile); err != nil {
-			logger.Fatalf("loading tenant keys: %v", err)
+			fatal("loading tenant keys", err)
 		}
-		logger.Printf("authentication enabled: %d tenant(s) from %s (SIGHUP reloads)", auth.Len(), *keysFile)
+		logger.Info("authentication enabled",
+			slog.Int("tenants", auth.Len()),
+			slog.String("keys_file", *keysFile),
+			slog.String("reload", "SIGHUP"))
 		// Hot reload: key rotation must not need a restart (a restart drops
 		// every in-flight stream and, without a store, every fitted model).
 		hup := make(chan os.Signal, 1)
@@ -66,10 +77,23 @@ func main() {
 		go func() {
 			for range hup {
 				if err := auth.Reload(); err != nil {
-					logger.Printf("SIGHUP: reloading tenant keys: %v (previous set stays active)", err)
+					logger.Error("SIGHUP: reloading tenant keys failed; previous set stays active",
+						slog.String("error", err.Error()))
 				} else {
-					logger.Printf("SIGHUP: reloaded tenant keys: %d tenant(s)", auth.Len())
+					logger.Info("SIGHUP: reloaded tenant keys", slog.Int("tenants", auth.Len()))
 				}
+			}
+		}()
+	}
+
+	if *pprofAddr != "" {
+		// pprof stays off the serving listener: profiles can leak request
+		// contents and timings, so they bind to their own (ideally loopback)
+		// address. net/http/pprof registers on DefaultServeMux.
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", slog.String("error", err.Error()))
 			}
 		}()
 	}
@@ -87,10 +111,11 @@ func main() {
 		Auth:              auth,
 		TenantBudgetEps:   *budgetEps,
 		TenantBudgetDelta: *budgetDelta,
-		Log:               reqLog,
+		Logger:            logger,
+		AccessLog:         !*quiet,
 	})
 	if err != nil {
-		logger.Fatalf("starting server: %v", err)
+		fatal("starting server", err)
 	}
 
 	httpSrv := &http.Server{
@@ -111,26 +136,29 @@ func main() {
 	if *storeDir != "" {
 		storeDesc = *storeDir
 	}
-	logger.Printf("sgfd %s listening on %s (workers=%d cache=%d store=%s)",
-		buildinfo.Version, *addr, *workers, *cacheCap, storeDesc)
+	logger.Info("sgfd listening",
+		slog.String("version", buildinfo.Version),
+		slog.String("addr", *addr),
+		slog.Int("workers", *workers),
+		slog.Int("cache", *cacheCap),
+		slog.String("store", storeDesc))
 
 	select {
 	case <-ctx.Done():
-		logger.Printf("shutting down")
+		logger.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown", slog.String("error", err.Error()))
 		}
 		// Flush the snapshot store so a model whose write-through snapshot
 		// failed gets one more chance to survive the restart.
 		if err := srv.Close(); err != nil {
-			logger.Printf("store flush: %v", err)
+			logger.Error("store flush", slog.String("error", err.Error()))
 		}
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal("serving", err)
 		}
 	}
 }

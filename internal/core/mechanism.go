@@ -115,6 +115,10 @@ type GenStats struct {
 	CheckedTotal int64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// SinkElapsed is the portion of Elapsed spent inside the caller's sink
+	// (GenerateTargetStream only): delivery/flush time as opposed to
+	// generation time, so a serving layer can report the two stages apart.
+	SinkElapsed time.Duration
 }
 
 // PassRate returns Released/Candidates (0 when no candidates were drawn).
@@ -360,7 +364,10 @@ func GenerateTargetStream(ctx context.Context, mech *Mechanism, target, maxCandi
 			// Deliver even when the chunk was cancelled mid-run, so "what was
 			// released so far" really reaches the caller — but count only what
 			// the sink accepted: a failed client write is not a release.
-			if sinkErr = sink(rows); sinkErr == nil {
+			sinkStart := time.Now()
+			sinkErr = sink(rows)
+			total.SinkElapsed += time.Since(sinkStart)
+			if sinkErr == nil {
 				total.Released += len(rows)
 			}
 		}

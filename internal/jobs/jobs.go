@@ -92,6 +92,9 @@ type Job struct {
 	finished time.Time
 	err      error
 	result   any
+	// changed is closed (and replaced lazily) on every observable update —
+	// the job-events watch seam. nil until the first Changed call.
+	changed chan struct{}
 
 	elem *list.Element // position in Manager.order, guarded by Manager.mu
 }
@@ -139,6 +142,30 @@ func (j *Job) Info() Info {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// Changed returns a channel closed on the job's next observable update
+// (state transition or progress report). Fetch the channel BEFORE calling
+// Info: an update landing after the snapshot closes the already-held
+// channel, so a watcher alternating Changed/Info/wait can never sleep
+// through a transition. After the close, call Changed again for the next
+// update; a finished job's channel never closes (there is nothing left to
+// observe — watchers see the terminal state in the snapshot).
+func (j *Job) Changed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.changed == nil {
+		j.changed = make(chan struct{})
+	}
+	return j.changed
+}
+
+// notifyChangedLocked wakes Changed watchers. Callers hold j.mu.
+func (j *Job) notifyChangedLocked() {
+	if j.changed != nil {
+		close(j.changed)
+		j.changed = nil
+	}
+}
+
 // Timeline returns the job's start and finish times (zero values while the
 // job has not reached them) — the bookkeeping a persisted job record needs
 // to reproduce run_ms across restarts.
@@ -174,6 +201,7 @@ func (j *Job) setProgress(stage string, frac float64) {
 	if frac > j.progress {
 		j.progress = frac
 	}
+	j.notifyChangedLocked()
 }
 
 // Stats are the manager's counters, exported as sgfd_jobs_* metrics and in
@@ -360,6 +388,7 @@ func (m *Manager) run(ctx context.Context, j *Job, fn Fn) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.notifyChangedLocked()
 	j.mu.Unlock()
 
 	result, err := fn(ctx, j.setProgress)
@@ -385,6 +414,7 @@ func (m *Manager) finish(j *Job, result any, err error) {
 		j.progress = 1
 		j.stage = "done"
 	}
+	j.notifyChangedLocked()
 	j.mu.Unlock()
 	close(j.done)
 

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket Prometheus-style histogram: lock-free
+// observation (one atomic add per Observe, a CAS loop for the sum) and
+// cumulative text-format exposition. Bucket bounds are upper bounds; an
+// implicit +Inf bucket catches everything past the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = +Inf
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// LatencyBuckets are the request-duration bounds in seconds: sub-millisecond
+// admin probes through multi-minute synthesize streams.
+var LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// SizeBuckets are the stream-size bounds (records per synthesize response).
+var SizeBuckets = []float64{1, 10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000}
+
+// ByteBuckets are the response-size bounds in bytes.
+var ByteBuckets = []float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Bucket counts are stored per-interval (not cumulative) so Observe
+	// touches exactly one counter; exposition accumulates.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// formatLe renders a bucket bound the Prometheus way (no exponent for the
+// common magnitudes, trailing zeros trimmed).
+func formatLe(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeProm appends the histogram's series (bucket/sum/count) for the given
+// fully rendered label set ("" or `foo="bar",`-style prefix without braces).
+func (h *Histogram) writeProm(b []byte, name, labels string) []byte {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b = append(b, fmt.Sprintf("%s_bucket{%sle=%q} %d\n", name, labels, formatLe(bound), cum)...)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b = append(b, fmt.Sprintf("%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)...)
+	if labels == "" {
+		b = append(b, fmt.Sprintf("%s_sum %g\n%s_count %d\n", name, h.Sum(), name, cum)...)
+	} else {
+		// Trim the joining comma for the braceless series.
+		ls := labels[:len(labels)-1]
+		b = append(b, fmt.Sprintf("%s_sum{%s} %g\n%s_count{%s} %d\n", name, ls, h.Sum(), name, ls, cum)...)
+	}
+	return b
+}
+
+// WriteProm writes the histogram in the Prometheus text exposition format,
+// TYPE line included.
+func (h *Histogram) WriteProm(w io.Writer, name string) (int64, error) {
+	b := append([]byte(nil), fmt.Sprintf("# TYPE %s histogram\n", name)...)
+	b = h.writeProm(b, name, "")
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// HistogramVec is a label-keyed family of histograms sharing one bucket
+// layout (e.g. request latency by handler). Children are created on first
+// use and never evicted — label values must be low-cardinality (handler
+// names, not request IDs).
+type HistogramVec struct {
+	label  string
+	bounds []float64
+
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramVec returns a histogram family keyed by one label.
+func NewHistogramVec(label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{label: label, bounds: bounds, m: make(map[string]*Histogram)}
+}
+
+// With returns the child histogram for a label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.m[value]; ok {
+		return h
+	}
+	h = NewHistogram(v.bounds)
+	v.m[value] = h
+	return h
+}
+
+// WriteProm writes every child in label-sorted order (stable scrape to
+// scrape), TYPE line included.
+func (v *HistogramVec) WriteProm(w io.Writer, name string) (int64, error) {
+	v.mu.RLock()
+	values := make([]string, 0, len(v.m))
+	for val := range v.m {
+		values = append(values, val)
+	}
+	children := make([]*Histogram, len(values))
+	sort.Strings(values)
+	for i, val := range values {
+		children[i] = v.m[val]
+	}
+	v.mu.RUnlock()
+
+	b := append([]byte(nil), fmt.Sprintf("# TYPE %s histogram\n", name)...)
+	for i, val := range values {
+		b = children[i].writeProm(b, name, fmt.Sprintf("%s=%q,", v.label, val))
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}

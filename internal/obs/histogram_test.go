@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 111.5 {
+		t.Fatalf("sum = %v, want 111.5", got)
+	}
+	// Per-interval counts: le=1 gets 0.5 and 1 (SearchFloat64s returns the
+	// first bound >= v), le=5 gets 3, le=10 gets 7, +Inf gets 100.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram accepted non-increasing bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1, 2})
+}
+
+// parseProm parses Prometheus text format into metric -> value, keeping label
+// sets verbatim as part of the key, and skipping comment lines.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+func TestHistogramWriteProm(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if _, err := h.WriteProm(&buf, "test_seconds"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "# TYPE test_seconds histogram\n") {
+		t.Fatalf("missing TYPE line in %q", text)
+	}
+	m := parseProm(t, text)
+	checks := map[string]float64{
+		`test_seconds_bucket{le="0.1"}`:  1,
+		`test_seconds_bucket{le="1"}`:    2,
+		`test_seconds_bucket{le="+Inf"}`: 3,
+		`test_seconds_sum`:               2.55,
+		`test_seconds_count`:             3,
+	}
+	for k, want := range checks {
+		if got, ok := m[k]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v\nfull text:\n%s", k, got, ok, want, text)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec("handler", []float64{1})
+	v.With("synthesize").Observe(0.5)
+	v.With("synthesize").Observe(3)
+	v.With("fit").Observe(0.2)
+
+	var buf bytes.Buffer
+	if _, err := v.WriteProm(&buf, "req_seconds"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if strings.Count(text, "# TYPE req_seconds histogram") != 1 {
+		t.Fatalf("want exactly one TYPE line:\n%s", text)
+	}
+	// Label-sorted: fit before synthesize.
+	if fit, syn := strings.Index(text, `handler="fit"`), strings.Index(text, `handler="synthesize"`); fit < 0 || syn < 0 || fit > syn {
+		t.Fatalf("children not label-sorted:\n%s", text)
+	}
+	m := parseProm(t, text)
+	checks := map[string]float64{
+		`req_seconds_bucket{handler="fit",le="1"}`:           1,
+		`req_seconds_bucket{handler="fit",le="+Inf"}`:        1,
+		`req_seconds_bucket{handler="synthesize",le="1"}`:    1,
+		`req_seconds_bucket{handler="synthesize",le="+Inf"}`: 2,
+		`req_seconds_count{handler="synthesize"}`:            2,
+		`req_seconds_sum{handler="fit"}`:                     0.2,
+	}
+	for k, want := range checks {
+		if got, ok := m[k]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v\nfull text:\n%s", k, got, ok, want, text)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(g%4) * 0.01)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	want := float64(2000*0.01 + 2000*0.02 + 2000*0.03)
+	if got := h.Sum(); got < want-0.001 || got > want+0.001 {
+		t.Fatalf("sum = %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// NewLogger builds the server's structured logger: logfmt-ish text for
+// terminals, JSON for log pipelines. level filters (access lines log at
+// Info; error paths at Warn/Error).
+func NewLogger(w io.Writer, jsonFormat bool, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// discardHandler drops every record without formatting it (Enabled is
+// false, so callers skip attribute evaluation too).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Discard returns a logger that drops everything — the default when an
+// embedder configures no logging, so call sites never nil-check.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+// Limiter rate-limits log lines per key: the first line for a key always
+// passes, then at most one per interval, with the suppressed count reported
+// alongside the next line that passes — so a flapping disk produces one
+// levelled line per interval per model/tenant instead of flooding stderr.
+//
+// Keys are bounded: past maxKeys the oldest-seen keys are pruned, so an
+// attacker-controlled key (a tenant name, a model ID) cannot grow the map
+// without bound.
+type Limiter struct {
+	interval time.Duration
+	maxKeys  int
+	now      func() time.Time // test seam
+
+	mu sync.Mutex
+	m  map[string]*limiterEntry
+}
+
+type limiterEntry struct {
+	last       time.Time
+	suppressed int64
+}
+
+// NewLimiter returns a limiter allowing one line per key per interval
+// (interval <= 0 means 10s).
+func NewLimiter(interval time.Duration) *Limiter {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &Limiter{interval: interval, maxKeys: 1024, now: time.Now, m: make(map[string]*limiterEntry)}
+}
+
+// Allow reports whether a line for key may be logged now; when it may, the
+// second return is how many lines for that key were suppressed since the
+// last allowed one (attach it to the line so the flood stays visible).
+func (l *Limiter) Allow(key string) (bool, int64) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.m[key]
+	if !ok {
+		if len(l.m) >= l.maxKeys {
+			l.pruneLocked(now)
+		}
+		l.m[key] = &limiterEntry{last: now}
+		return true, 0
+	}
+	if now.Sub(e.last) >= l.interval {
+		suppressed := e.suppressed
+		e.last, e.suppressed = now, 0
+		return true, suppressed
+	}
+	e.suppressed++
+	return false, 0
+}
+
+// pruneLocked drops keys idle for at least one interval; if none are idle
+// (maxKeys distinct keys all actively flapping), it clears everything —
+// losing suppressed counts is better than unbounded growth.
+func (l *Limiter) pruneLocked(now time.Time) {
+	for k, e := range l.m {
+		if now.Sub(e.last) >= l.interval {
+			delete(l.m, k)
+		}
+	}
+	if len(l.m) >= l.maxKeys {
+		l.m = make(map[string]*limiterEntry)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, true, slog.LevelInfo).Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON handler produced non-JSON: %q (%v)", buf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("JSON record = %v", rec)
+	}
+
+	buf.Reset()
+	NewLogger(&buf, false, slog.LevelInfo).Info("hello", "k", "v")
+	if s := buf.String(); !strings.Contains(s, "msg=hello") || !strings.Contains(s, "k=v") {
+		t.Fatalf("text record = %q", s)
+	}
+
+	// Level filters.
+	buf.Reset()
+	NewLogger(&buf, false, slog.LevelWarn).Info("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("Info passed a Warn-level logger: %q", buf.String())
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLimiter(10 * time.Second)
+	l.now = func() time.Time { return now }
+
+	if ok, sup := l.Allow("m1"); !ok || sup != 0 {
+		t.Fatalf("first line = %v/%d, want allow/0", ok, sup)
+	}
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Allow("m1"); ok {
+			t.Fatalf("line %d inside the interval was allowed", i)
+		}
+	}
+	// A different key is independent.
+	if ok, _ := l.Allow("m2"); !ok {
+		t.Fatal("independent key was limited")
+	}
+
+	now = now.Add(10 * time.Second)
+	if ok, sup := l.Allow("m1"); !ok || sup != 5 {
+		t.Fatalf("post-interval line = %v/%d, want allow/5", ok, sup)
+	}
+	// Suppressed count resets after being reported.
+	now = now.Add(10 * time.Second)
+	if ok, sup := l.Allow("m1"); !ok || sup != 0 {
+		t.Fatalf("second post-interval line = %v/%d, want allow/0", ok, sup)
+	}
+}
+
+func TestLimiterBoundsKeys(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLimiter(10 * time.Second)
+	l.now = func() time.Time { return now }
+	l.maxKeys = 8
+
+	for i := 0; i < 100; i++ {
+		l.Allow(strings.Repeat("k", i+1))
+		now = now.Add(time.Millisecond)
+	}
+	if len(l.m) > l.maxKeys {
+		t.Fatalf("limiter holds %d keys, cap is %d", len(l.m), l.maxKeys)
+	}
+}

@@ -1,0 +1,339 @@
+// Package obs is sgfd's zero-dependency observability layer: request-scoped
+// traces (span start/end with attributes, parent/child nesting, W3C
+// traceparent ingestion), native Prometheus-text histograms, a bounded ring
+// buffer of recent traces for the debug endpoint, structured-logging
+// helpers on log/slog, and a per-key log rate limiter.
+//
+// Everything here is standard library only and safe for concurrent use; the
+// serving hot path touches obs exactly once per request (one span tree, one
+// histogram observation), never once per record.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's span count so a pathological request
+// cannot balloon the ring buffer's memory; spans past the cap are counted
+// in Dropped instead of stored.
+const maxSpansPerTrace = 64
+
+// idCounter perturbs fallback IDs when crypto/rand fails (never expected,
+// but an all-zero trace ID is invalid W3C and would collide).
+var idCounter atomic.Uint64
+
+// randHex returns n random bytes hex-encoded (2n characters).
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// Degrade to a process-unique counter rather than failing the
+		// request path over an ID.
+		binary.BigEndian.PutUint64(b[len(b)-8:], idCounter.Add(1)|1)
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID mints a 32-hex-digit W3C trace ID.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID mints a 16-hex-digit W3C span/parent ID.
+func NewSpanID() string { return randHex(8) }
+
+// ParseTraceparent parses a W3C `traceparent` header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). It returns the
+// trace and parent IDs, and ok=false for anything malformed (unknown
+// version, wrong shape, all-zero IDs) — the caller then mints fresh IDs.
+func ParseTraceparent(header string) (traceID, parentID string, ok bool) {
+	if len(header) != 55 {
+		return "", "", false
+	}
+	if header[0] != '0' || header[1] != '0' || header[2] != '-' || header[35] != '-' || header[52] != '-' {
+		return "", "", false
+	}
+	traceID, parentID = header[3:35], header[36:52]
+	if !isLowerHex(traceID) || !isLowerHex(parentID) || !isLowerHex(header[53:55]) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(parentID) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+// FormatTraceparent renders a traceparent header for propagating this trace
+// to a downstream hop (flags: sampled).
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// Attr is one span attribute. Values are stringified at Set time so a
+// finished trace holds no live references into request state.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation inside a trace. Spans are created with
+// Trace.StartSpan, carry attributes, and nest through their parent pointer.
+// A span is owned by exactly one goroutine between StartSpan and End;
+// attribute writes are not synchronized.
+type Span struct {
+	tr *Trace
+	// parent indexes the parent span in the trace (-1 for a root).
+	parent int
+	index  int
+
+	Name  string
+	Start time.Time
+	// Dur is zero until End (or EndAt) fixes it.
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// End fixes the span's duration at now.
+func (s *Span) End() {
+	if s == nil || s.Dur != 0 {
+		return
+	}
+	s.EndAt(time.Now())
+}
+
+// EndAt fixes the span's duration against an explicit end time (so a caller
+// timing several stages can reuse one clock reading).
+func (s *Span) EndAt(end time.Time) {
+	if s == nil || s.Dur != 0 {
+		return
+	}
+	if d := end.Sub(s.Start); d > 0 {
+		s.Dur = d
+	} else {
+		s.Dur = 1 // a started span always has an observable duration
+	}
+}
+
+// Trace is one request's span tree. TraceID, ParentID and RequestID are
+// immutable after New; span creation is synchronized so pipeline stages
+// running on worker goroutines may open spans concurrently.
+type Trace struct {
+	// TraceID is the 32-hex W3C trace ID — minted locally, or ingested from
+	// an incoming traceparent header so a multi-node hop stays one trace.
+	TraceID string
+	// ParentID is the incoming traceparent's parent ID ("" when the trace
+	// started here) — the upstream span this request hangs under.
+	ParentID string
+	// RequestID is the server-local 16-hex request handle, echoed to the
+	// client as X-Request-Id and used as this request's root span ID.
+	RequestID string
+	Start     time.Time
+
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int
+	dur     time.Duration
+}
+
+// NewTrace starts a trace. traceID/parentID come from an ingested
+// traceparent header; pass "" to mint a fresh trace ID (the common,
+// first-hop case).
+func NewTrace(traceID, parentID string) *Trace {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	return &Trace{
+		TraceID:   traceID,
+		ParentID:  parentID,
+		RequestID: NewSpanID(),
+		Start:     time.Now(),
+	}
+}
+
+// StartSpan opens a child span under parent (nil = a root-level span).
+// Beyond maxSpansPerTrace the span is not recorded (nil is returned — all
+// Span methods tolerate nil) and the drop is counted.
+func (t *Trace) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		return nil
+	}
+	s := &Span{tr: t, parent: -1, index: len(t.spans), Name: name, Start: time.Now()}
+	if parent != nil && parent.tr == t {
+		s.parent = parent.index
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// AddSpan records an already-timed span (for stages measured elsewhere,
+// e.g. sink-flush time accumulated inside the generation loop).
+func (t *Trace) AddSpan(name string, parent *Span, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	s := t.StartSpan(name, parent)
+	if s != nil {
+		s.Start = start
+		if dur <= 0 {
+			dur = 1
+		}
+		s.Dur = dur
+	}
+}
+
+// Finish fixes the trace's total duration and ends any still-open spans.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dur == 0 {
+		t.dur = now.Sub(t.Start)
+	}
+	for _, s := range t.spans {
+		if s.Dur == 0 {
+			s.EndAt(now)
+		}
+	}
+}
+
+// SpanView is a span snapshot, shaped for JSON.
+type SpanView struct {
+	Name string `json:"name"`
+	// Parent names the parent span ("" for a root-level span).
+	Parent  string  `json:"parent,omitempty"`
+	StartMS float64 `json:"start_ms"` // offset from trace start
+	DurMS   float64 `json:"dur_ms"`
+	Attrs   []Attr  `json:"attrs,omitempty"`
+}
+
+// TraceView is a completed trace snapshot, shaped for JSON.
+type TraceView struct {
+	TraceID   string     `json:"trace_id"`
+	ParentID  string     `json:"parent_id,omitempty"`
+	RequestID string     `json:"request_id"`
+	Start     time.Time  `json:"start"`
+	DurMS     float64    `json:"dur_ms"`
+	Dropped   int        `json:"dropped_spans,omitempty"`
+	Spans     []SpanView `json:"spans"`
+}
+
+// View snapshots the trace. Call it after Finish; open spans read as
+// zero-duration.
+func (t *Trace) View() TraceView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := TraceView{
+		TraceID:   t.TraceID,
+		ParentID:  t.ParentID,
+		RequestID: t.RequestID,
+		Start:     t.Start,
+		DurMS:     float64(t.dur) / 1e6,
+		Dropped:   t.dropped,
+		Spans:     make([]SpanView, len(t.spans)),
+	}
+	for i, s := range t.spans {
+		sv := SpanView{
+			Name:    s.Name,
+			StartMS: float64(s.Start.Sub(t.Start)) / 1e6,
+			DurMS:   float64(s.Dur) / 1e6,
+		}
+		if len(s.Attrs) > 0 {
+			sv.Attrs = append([]Attr(nil), s.Attrs...)
+		}
+		if s.parent >= 0 {
+			sv.Parent = t.spans[s.parent].Name
+		}
+		v.Spans[i] = sv
+	}
+	return v
+}
+
+// TraceBuffer is a fixed-capacity ring of recent trace views: Add overwrites
+// the oldest entry, so memory stays bounded under any churn. Views (not live
+// traces) are stored, so a buffered entry holds no request state alive.
+type TraceBuffer struct {
+	mu   sync.Mutex
+	buf  []TraceView
+	next int
+	n    int
+}
+
+// NewTraceBuffer returns a ring retaining the most recent capacity traces
+// (capacity <= 0 means 128).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &TraceBuffer{buf: make([]TraceView, capacity)}
+}
+
+// Add snapshots a finished trace into the ring.
+func (b *TraceBuffer) Add(t *Trace) {
+	if b == nil || t == nil {
+		return
+	}
+	v := t.View()
+	b.mu.Lock()
+	b.buf[b.next] = v
+	b.next = (b.next + 1) % len(b.buf)
+	if b.n < len(b.buf) {
+		b.n++
+	}
+	b.mu.Unlock()
+}
+
+// Len reports how many traces the ring currently holds.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Snapshot returns the retained traces, newest first.
+func (b *TraceBuffer) Snapshot() []TraceView {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TraceView, 0, b.n)
+	for i := 1; i <= b.n; i++ {
+		out = append(out, b.buf[(b.next-i+len(b.buf))%len(b.buf)])
+	}
+	return out
+}

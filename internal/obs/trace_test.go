@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	parentID := "00f067aa0ba902b7"
+	good := "00-" + traceID + "-" + parentID + "-01"
+	gotT, gotP, ok := ParseTraceparent(good)
+	if !ok || gotT != traceID || gotP != parentID {
+		t.Fatalf("ParseTraceparent(%q) = %q, %q, %v", good, gotT, gotP, ok)
+	}
+
+	bad := []string{
+		"",
+		"00-" + traceID + "-" + parentID,         // missing flags
+		"01-" + traceID + "-" + parentID + "-01", // unknown version
+		"00-" + strings.Repeat("0", 32) + "-" + parentID + "-01",  // zero trace id
+		"00-" + traceID + "-" + strings.Repeat("0", 16) + "-01",   // zero parent id
+		"00-" + strings.ToUpper(traceID) + "-" + parentID + "-01", // uppercase
+		"00-" + traceID[:31] + "g-" + parentID + "-01",            // non-hex
+		good + "x",
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header", h)
+		}
+	}
+
+	// Round trip through the formatter.
+	if gotT, gotP, ok = ParseTraceparent(FormatTraceparent(traceID, parentID)); !ok || gotT != traceID || gotP != parentID {
+		t.Fatalf("FormatTraceparent round trip failed: %q %q %v", gotT, gotP, ok)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("", "")
+	if len(tr.TraceID) != 32 || len(tr.RequestID) != 16 {
+		t.Fatalf("minted IDs have wrong shape: trace %q request %q", tr.TraceID, tr.RequestID)
+	}
+	root := tr.StartSpan("request", nil)
+	root.SetAttr("path", "/v1/models")
+	child := tr.StartSpan("generate", root)
+	time.Sleep(time.Millisecond)
+	child.End()
+	tr.AddSpan("flush", root, time.Now(), 5*time.Millisecond)
+	tr.Finish()
+
+	v := tr.View()
+	if len(v.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(v.Spans))
+	}
+	if v.Spans[0].Parent != "" || v.Spans[1].Parent != "request" || v.Spans[2].Parent != "request" {
+		t.Fatalf("parent links wrong: %+v", v.Spans)
+	}
+	if v.Spans[1].DurMS <= 0 {
+		t.Fatalf("ended span has non-positive duration: %v", v.Spans[1].DurMS)
+	}
+	if v.Spans[0].DurMS <= 0 {
+		t.Fatal("Finish did not close the open root span")
+	}
+	if len(v.Spans[0].Attrs) != 1 || v.Spans[0].Attrs[0].Key != "path" {
+		t.Fatalf("root attrs = %+v", v.Spans[0].Attrs)
+	}
+	if v.DurMS <= 0 {
+		t.Fatalf("trace duration = %v", v.DurMS)
+	}
+}
+
+func TestTraceIngestsParent(t *testing.T) {
+	tr := NewTrace("4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7")
+	if tr.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("ingested trace ID not kept: %q", tr.TraceID)
+	}
+	if v := tr.View(); v.ParentID != "00f067aa0ba902b7" {
+		t.Fatalf("parent ID not kept: %q", v.ParentID)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("", "")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		s := tr.StartSpan("s", nil)
+		if i < maxSpansPerTrace && s == nil {
+			t.Fatalf("span %d unexpectedly dropped", i)
+		}
+		if i >= maxSpansPerTrace && s != nil {
+			t.Fatalf("span %d exceeded the cap but was recorded", i)
+		}
+		// Nil spans must be safe to use.
+		s.SetAttr("k", "v")
+		s.End()
+	}
+	tr.Finish()
+	v := tr.View()
+	if len(v.Spans) != maxSpansPerTrace || v.Dropped != 10 {
+		t.Fatalf("spans = %d dropped = %d, want %d/10", len(v.Spans), v.Dropped, maxSpansPerTrace)
+	}
+}
+
+// TestTraceBufferChurn hammers the ring from several goroutines and checks
+// the retained set stays at capacity — run with -race this also pins the
+// buffer's synchronization.
+func TestTraceBufferChurn(t *testing.T) {
+	b := NewTraceBuffer(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr := NewTrace("", "")
+				tr.StartSpan("s", nil).End()
+				tr.Finish()
+				b.Add(tr)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Len() != 16 {
+		t.Fatalf("ring holds %d traces, want 16", b.Len())
+	}
+	snap := b.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot has %d traces, want 16", len(snap))
+	}
+	for i, v := range snap {
+		if v.TraceID == "" || len(v.Spans) != 1 {
+			t.Fatalf("snapshot entry %d malformed: %+v", i, v)
+		}
+	}
+}
+
+func TestTraceBufferOrder(t *testing.T) {
+	b := NewTraceBuffer(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := NewTrace("", "")
+		tr.Finish()
+		b.Add(tr)
+		ids = append(ids, tr.TraceID)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	// Newest first: traces 4, 3, 2.
+	for i := 0; i < 3; i++ {
+		if snap[i].TraceID != ids[4-i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, snap[i].TraceID, ids[4-i])
+		}
+	}
+}

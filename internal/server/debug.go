@@ -1,0 +1,23 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// tracesResponse answers GET /v1/debug/traces.
+type tracesResponse struct {
+	Count  int             `json:"count"`
+	Traces []obs.TraceView `json:"traces"`
+}
+
+// handleDebugTraces implements GET /v1/debug/traces (admin role): the ring
+// of recent request traces, newest first, each with its per-stage spans —
+// the "where did that request spend its time" endpoint. The ring stores
+// snapshots with a hard span cap per trace, so the endpoint's memory stays
+// bounded whatever the traffic.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, _ *http.Request) {
+	snap := s.traces.Snapshot()
+	writeJSON(w, http.StatusOK, tracesResponse{Count: len(snap), Traces: snap})
+}

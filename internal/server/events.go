@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/tenant"
+)
+
+// jobEvent is one line of the GET /v1/jobs/{id}/events NDJSON stream.
+type jobEvent struct {
+	// Type is "progress" (state/stage/fraction changed), "heartbeat" (the
+	// job is alive but nothing changed for a heartbeat interval), or the
+	// terminal "done"/"failed" — always the stream's last line.
+	Type     string     `json:"type"`
+	JobID    string     `json:"job_id"`
+	State    jobs.State `json:"state"`
+	Stage    string     `json:"stage,omitempty"`
+	Progress float64    `json:"progress"`
+	Error    string     `json:"error,omitempty"`
+	RunMS    int64      `json:"run_ms"`
+}
+
+// handleJobEvents implements GET /v1/jobs/{id}/events: a chunked-NDJSON
+// stream of live progress events fed by the job's ProgressFunc reports —
+// stage names, monotone completion fractions, idle heartbeats — ending with
+// exactly one terminal event ("done" or "failed", the latter covering
+// cancellation) when the job finishes. A job that is already finished
+// streams just its terminal event. Another tenant's job reads as 404.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, id string, tn *tenant.Identity) {
+	job, ok := s.jobs.Get(id)
+	if !ok || !canSeeJob(tn, job.Owner) {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	heartbeat := s.cfg.EventsHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	emit := func(ev jobEvent) bool {
+		// Rolling per-event write deadline, same rationale as the synthesize
+		// stream: a stalled reader must not pin this handler forever.
+		_ = rc.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ctx := r.Context()
+	timer := time.NewTimer(heartbeat)
+	defer timer.Stop()
+	var last jobs.Info
+	first := true
+	for {
+		// Fetch the change channel BEFORE snapshotting: any update landing
+		// after the snapshot closes this already-held channel, so the loop
+		// can never sleep through a transition it has not reported.
+		ch := job.Changed()
+		info := job.Info()
+		if info.State.Finished() {
+			ev := jobEvent{Type: "done", JobID: id, State: info.State,
+				Stage: info.Stage, Progress: info.Progress, RunMS: info.RunMS}
+			if info.State == jobs.StateFailed {
+				ev.Type = "failed"
+				ev.Error = info.Error
+			}
+			emit(ev)
+			return
+		}
+		if first || info.State != last.State || info.Stage != last.Stage || info.Progress != last.Progress {
+			if !emit(jobEvent{Type: "progress", JobID: id, State: info.State,
+				Stage: info.Stage, Progress: info.Progress, RunMS: info.RunMS}) {
+				return
+			}
+			last, first = info, false
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(heartbeat)
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+			if !emit(jobEvent{Type: "heartbeat", JobID: id, State: info.State,
+				Stage: info.Stage, Progress: info.Progress, RunMS: info.RunMS}) {
+				return
+			}
+		}
+	}
+}

@@ -16,10 +16,41 @@ import (
 	"repro/internal/acs"
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/store"
 	"repro/internal/tenant"
 )
+
+// stageClock times the synthesize pipeline's stages: each stage gets a span
+// on the request trace and a "name=ms" part in the X-Sgf-Stage-Ms response
+// trailer, so one request's time budget is readable from the client side
+// (trailer) and the server side (GET /v1/debug/traces) alike. Nil traces
+// (direct handler tests) degrade to trailer-only.
+type stageClock struct {
+	tr    *obs.Trace
+	parts []string
+}
+
+// start opens a stage; the returned func closes it.
+func (c *stageClock) start(name string) func() {
+	sp := c.tr.StartSpan(name, nil)
+	t0 := time.Now()
+	return func() {
+		sp.End()
+		c.parts = append(c.parts, fmt.Sprintf("%s=%d", name, time.Since(t0).Milliseconds()))
+	}
+}
+
+// add records a stage timed elsewhere (e.g. sink-flush time accumulated
+// inside the generation loop).
+func (c *stageClock) add(name string, start time.Time, dur time.Duration) {
+	c.tr.AddSpan(name, nil, start, dur)
+	c.parts = append(c.parts, fmt.Sprintf("%s=%d", name, dur.Milliseconds()))
+}
+
+// trailer renders the accumulated stage timings.
+func (c *stageClock) trailer() string { return strings.Join(c.parts, ";") }
 
 // fitRequest is the body of POST /v1/models: either an inline CSV upload
 // with its metadata, or a reference to a built-in dataset.
@@ -325,7 +356,14 @@ func summarizeStructure(fm *sgf.FittedModel) *structureJSON {
 // requests (same model, seed and parameters) stream identical bytes
 // whatever the server's concurrency — see core.GenerateCtx.
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id string, tn *tenant.Identity) {
+	ro := obsFrom(r.Context())
+	sc := &stageClock{tr: traceFrom(r.Context())}
+
+	// load_model covers the registry lookup including a lazy store load of a
+	// non-resident snapshot — the freeze/lazy-load stage.
+	endStage := sc.start("load_model")
 	entry, ok := s.getModelFor(id, tn)
+	endStage()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown model %q", id)
 		return
@@ -361,8 +399,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	// The reservation covers the requested count so concurrent streams
 	// cannot both squeeze through the same remaining budget; settle moves
 	// what was actually delivered into durable spend.
+	endStage = sc.start("admit")
 	budgetEps, budgetDelta := s.effectiveBudget(tn)
 	settle, aerr := s.ledger.admit(jobOwner(tn), req.K, req.Gamma, req.Eps0, req.Records, budgetEps, budgetDelta)
+	endStage()
 	if aerr != nil {
 		s.metrics.BudgetDenied()
 		writeError(w, http.StatusForbidden, "%v", aerr)
@@ -381,7 +421,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	defer s.metrics.SynthesizeDone()
 
 	// Wait for the background fit; aborted clients stop waiting.
+	endStage = sc.start("wait_model")
 	fm, err := entry.Wait(ctx.Done())
+	endStage()
 	if err != nil {
 		if ctx.Err() != nil {
 			return // client went away
@@ -413,7 +455,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	// tenant's worker-grant quota, so one tenant cannot drain the shared
 	// pool however many requests it opens. The grant size affects latency
 	// only, never the streamed bytes.
+	endStage = sc.start("acquire_workers")
 	granted, release, err := s.acquireWorkers(ctx, tn, req.Workers)
+	endStage()
 	if err != nil {
 		if errors.Is(err, errWorkerQuota) {
 			tn.CountThrottle()
@@ -427,7 +471,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	h := w.Header()
 	h.Set("Content-Type", "application/x-ndjson")
 	h.Set("X-Sgf-Model", entry.ID)
-	h.Set("Trailer", "X-Sgf-Candidates, X-Sgf-Released, X-Sgf-Pass-Rate, X-Sgf-Elapsed-Ms")
+	h.Set("Trailer", "X-Sgf-Candidates, X-Sgf-Released, X-Sgf-Pass-Rate, X-Sgf-Elapsed-Ms, X-Sgf-Stage-Ms")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
@@ -435,6 +479,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	enc := newRecordEncoder(meta)
 	rc := http.NewResponseController(w)
 	var buf bytes.Buffer
+	var streamBytes int64
+	genSpan := sc.tr.StartSpan("generate", nil)
+	genStart := time.Now()
 	stats, err := sgf.GenerateTargetStream(ctx, mech, opts.Records, opts.MaxCandidates, granted, opts.Seed, func(batch []dataset.Record) error {
 		buf.Reset()
 		for _, rec := range batch {
@@ -447,17 +494,29 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 		if _, werr := w.Write(buf.Bytes()); werr != nil {
 			return werr
 		}
+		streamBytes += int64(buf.Len())
 		if flusher != nil {
 			flusher.Flush()
 		}
 		return nil
 	})
+	genSpan.SetAttr("records", fmt.Sprint(stats.Released))
+	genSpan.SetAttr("candidates", fmt.Sprint(stats.Candidates))
+	genSpan.End()
+	sc.parts = append(sc.parts, fmt.Sprintf("generate=%d", time.Since(genStart).Milliseconds()))
+	// The flush stage is the slice of generate spent inside the NDJSON sink
+	// (encode + write + flush), measured by the generator per batch.
+	sc.add("stream_flush", genStart, stats.SinkElapsed)
 	// GenStats.Released counts exactly the records the sink accepted — the
 	// stream caps it at the target and excludes failed deliveries — so the
 	// metrics, the X-Sgf-Released trailer and the ledger settle all read the
 	// one number the client actually observed.
 	released = stats.Released
+	if ro != nil {
+		ro.records = released
+	}
 	s.metrics.Generated(stats.Released, stats.Candidates, stats.CheckedTotal)
+	s.metrics.ObserveStream(stats.Released, streamBytes)
 	if err != nil && ctx.Err() == nil {
 		// The status line is gone; surface the failure as a final NDJSON
 		// error line so clients can distinguish truncation from success.
@@ -471,6 +530,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	h.Set("X-Sgf-Released", fmt.Sprint(stats.Released))
 	h.Set("X-Sgf-Pass-Rate", fmt.Sprintf("%.6f", stats.PassRate()))
 	h.Set("X-Sgf-Elapsed-Ms", fmt.Sprint(stats.Elapsed.Milliseconds()))
+	h.Set("X-Sgf-Stage-Ms", sc.trailer())
 }
 
 // recordEncoder renders records as JSON objects with attributes in schema

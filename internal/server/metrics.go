@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/tenant"
 )
 
@@ -19,6 +20,12 @@ type Metrics struct {
 
 	mu       sync.Mutex
 	requests map[string]*int64 // "<handler> <status-class>" → count
+
+	// latency buckets request duration by handler; streamRecords and
+	// streamBytes bucket what one synthesize response released.
+	latency       *obs.HistogramVec
+	streamRecords *obs.Histogram
+	streamBytes   *obs.Histogram
 
 	synthesizeInFlight int64
 	recordsReleased    int64
@@ -33,7 +40,25 @@ type Metrics struct {
 
 // NewMetrics returns a zeroed metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), requests: make(map[string]*int64)}
+	return &Metrics{
+		start:         time.Now(),
+		requests:      make(map[string]*int64),
+		latency:       obs.NewHistogramVec("handler", obs.LatencyBuckets),
+		streamRecords: obs.NewHistogram(obs.SizeBuckets),
+		streamBytes:   obs.NewHistogram(obs.ByteBuckets),
+	}
+}
+
+// ObserveRequest records one finished request's latency under its handler
+// label.
+func (m *Metrics) ObserveRequest(handler string, seconds float64) {
+	m.latency.With(handler).Observe(seconds)
+}
+
+// ObserveStream records the size of one finished synthesize stream.
+func (m *Metrics) ObserveStream(records int, bytes int64) {
+	m.streamRecords.Observe(float64(records))
+	m.streamBytes.Observe(float64(bytes))
 }
 
 // Request records one finished HTTP request for the named handler with the
@@ -134,7 +159,25 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		atomic.LoadInt64(&m.budgetDenied))
 
 	n, err := w.Write(b)
-	return int64(n), err
+	if err != nil {
+		return int64(n), err
+	}
+	total := int64(n)
+	for _, h := range []struct {
+		name  string
+		write func(io.Writer, string) (int64, error)
+	}{
+		{"sgfd_request_duration_seconds", m.latency.WriteProm},
+		{"sgfd_synthesize_stream_records", m.streamRecords.WriteProm},
+		{"sgfd_synthesize_stream_bytes", m.streamBytes.WriteProm},
+	} {
+		hn, err := h.write(w, h.name)
+		total += hn
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // writeJobsMetrics renders the evaluation-job counters in the Prometheus

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	sgf "repro"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -184,6 +186,8 @@ func (e *ModelEntry) Wait(cancel <-chan struct{}) (*sgf.FittedModel, error) {
 type Registry struct {
 	metrics *Metrics
 	store   *store.Store // nil = no persistence
+	log     *slog.Logger
+	lim     *obs.Limiter // rate-limits per-model error lines
 
 	fitSem  chan struct{}
 	fitHook func() // test seam, called in the fit goroutine before learning
@@ -225,6 +229,8 @@ func NewRegistry(capacity, maxFits, maxPending int, metrics *Metrics, st *store.
 	return &Registry{
 		metrics:  metrics,
 		store:    st,
+		log:      obs.Discard(),
+		lim:      obs.NewLimiter(0),
 		fitSem:   make(chan struct{}, maxFits),
 		cap:      capacity,
 		maxPend:  maxPending,
@@ -237,6 +243,32 @@ func NewRegistry(capacity, maxFits, maxPending int, metrics *Metrics, st *store.
 
 // Store returns the registry's snapshot store (nil without persistence).
 func (r *Registry) Store() *store.Store { return r.store }
+
+// SetLogger installs the structured logger (and the shared rate limiter)
+// for load/persist error lines. Call it right after NewRegistry, before
+// serving — it is not synchronized against concurrent use.
+func (r *Registry) SetLogger(l *slog.Logger, lim *obs.Limiter) {
+	if l != nil {
+		r.log = l
+	}
+	if lim != nil {
+		r.lim = lim
+	}
+}
+
+// logStoreError emits one rate-limited levelled line for a store failure
+// keyed by operation+model, so a flapping disk reports once per interval
+// per model with a suppressed count instead of flooding the log.
+func (r *Registry) logStoreError(op, id string, err error) {
+	allowed, suppressed := r.lim.Allow(op + ":" + id)
+	if !allowed {
+		return
+	}
+	r.log.Error("model store "+op+" failed",
+		slog.String("model", id),
+		slog.String("error", err.Error()),
+		slog.Int64("suppressed", suppressed))
+}
 
 // Len returns the number of resident models.
 func (r *Registry) Len() int {
@@ -313,6 +345,12 @@ func (r *Registry) loadFromStore(id string) (*ModelEntry, bool) {
 	}
 	snap, err := r.store.Get(id)
 	if err != nil {
+		// A plain miss is the normal cache-fallthrough path; anything else
+		// (corrupt snapshot, I/O error) was previously visible only via
+		// /healthz — surface it, rate-limited per model.
+		if !errors.Is(err, store.ErrNotFound) {
+			r.logStoreError("load", id, err)
+		}
 		return nil, false
 	}
 	e, fresh := r.insertSnapshot(snap)
@@ -572,7 +610,11 @@ func (r *Registry) persistEntry(id string) (retry bool) {
 		// fit loses a photo-finish race with a late AddOwner.
 		return true
 	}
-	_ = r.store.Put(r.snapshotFor(e, fm)) // failure lands in store stats
+	if err := r.store.Put(r.snapshotFor(e, fm)); err != nil {
+		// The failure also lands in the store's stats (visible on /healthz);
+		// the log line names the model so an operator can act on it.
+		r.logStoreError("persist", id, err)
+	}
 	return false
 }
 

@@ -19,11 +19,16 @@
 //	GET    /v1/jobs                    list evaluation jobs
 //	GET    /v1/jobs/{id}               job status + progress
 //	GET    /v1/jobs/{id}/result        tables/figure series of a done job
+//	GET    /v1/jobs/{id}/events        live job progress as chunked NDJSON
+//	                                   (stage, fraction, heartbeats, one
+//	                                   terminal event)
 //	DELETE /v1/jobs/{id}               cancel a running job / evict a
 //	                                   finished one (writers their own,
 //	                                   admins any)
+//	GET    /v1/debug/traces            recent request traces with per-stage
+//	                                   spans (admin role)
 //	GET    /healthz                    liveness + store/jobs/ledger status
-//	GET    /metrics                    Prometheus counters
+//	GET    /metrics                    Prometheus counters + histograms
 //
 // Three pieces make the service safe under load. The model Registry is an
 // LRU cache keyed by dataset hash + fit config, so repeated uploads of the
@@ -62,12 +67,16 @@
 package server
 
 import (
+	"context"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tenant"
 )
@@ -125,14 +134,25 @@ type Config struct {
 	// StoreDir set the ledger persists there and survives restarts.
 	TenantBudgetEps   float64
 	TenantBudgetDelta float64
-	// Log receives one line per request; nil disables logging.
-	Log *log.Logger
+	// Logger receives the server's structured log lines (startup/warm-start
+	// notices, statelog and store error reports, and — with AccessLog — one
+	// line per request). nil discards everything.
+	Logger *slog.Logger
+	// AccessLog enables the per-request access-log line on Logger.
+	AccessLog bool
+	// TraceBufferSize caps the ring of recent request traces served on
+	// GET /v1/debug/traces (0 = 128).
+	TraceBufferSize int
+	// EventsHeartbeat is the idle interval between heartbeat events on a
+	// GET /v1/jobs/{id}/events stream (0 = 15s).
+	EventsHeartbeat time.Duration
 }
 
 // Server is the sgfd HTTP handler. Create it with New; the zero value is
 // not usable.
 type Server struct {
 	cfg      Config
+	log      *slog.Logger
 	pool     *WorkerPool
 	reg      *Registry
 	metrics  *Metrics
@@ -140,6 +160,11 @@ type Server struct {
 	jobs     *jobs.Manager
 	ledger   *ledger
 	statelog *stateLog // nil without StoreDir
+	traces   *obs.TraceBuffer
+	// logLimit rate-limits repeated error lines (statelog flush failures,
+	// store lazy-load errors) per model/job/ledger key, so a flapping disk
+	// reports once per interval instead of flooding the log.
+	logLimit *obs.Limiter
 }
 
 // New returns a ready-to-serve Server. With Config.StoreDir set it opens
@@ -168,20 +193,28 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.Discard()
+	}
 	metrics := NewMetrics()
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewWorkerPool(cfg.PoolSize),
-		reg:     NewRegistry(cfg.CacheCap, cfg.MaxConcurrentFits, cfg.MaxPendingFits, metrics, st),
-		metrics: metrics,
-		store:   st,
-		jobs:    jobs.NewManager(cfg.EvalMaxRunning, cfg.EvalMaxPending, cfg.EvalRetain),
-		ledger:  newLedger(),
+		cfg:      cfg,
+		log:      logger,
+		pool:     NewWorkerPool(cfg.PoolSize),
+		reg:      NewRegistry(cfg.CacheCap, cfg.MaxConcurrentFits, cfg.MaxPendingFits, metrics, st),
+		metrics:  metrics,
+		store:    st,
+		jobs:     jobs.NewManager(cfg.EvalMaxRunning, cfg.EvalMaxPending, cfg.EvalRetain),
+		ledger:   newLedger(),
+		traces:   obs.NewTraceBuffer(cfg.TraceBufferSize),
+		logLimit: obs.NewLimiter(0),
 	}
+	s.reg.SetLogger(logger, s.logLimit)
 	if st != nil {
 		// All durable state flows through the statelog from here on: model
 		// ownership changes, finished job results, ledger charges.
-		s.statelog = newStateLog(st, s.reg, s.ledger, s.jobRecord)
+		s.statelog = newStateLog(st, s.reg, s.ledger, s.jobRecord, logger, s.logLimit)
 		s.jobs.SetHooks(jobs.Hooks{
 			OnFinish: func(j *jobs.Job, _ any) { s.statelog.NoteJobFinished(j.ID) },
 			OnEvict:  func(id string) { s.statelog.NoteJobEvicted(id) },
@@ -190,8 +223,11 @@ func New(cfg Config) (*Server, error) {
 			s.ledger.restore(led)
 		}
 		jobsRestored := s.restoreJobs()
-		if n := s.reg.WarmStart(); (n > 0 || jobsRestored > 0) && cfg.Log != nil {
-			cfg.Log.Printf("warm-started %d model(s) and %d job result(s) from %s", n, jobsRestored, cfg.StoreDir)
+		if n := s.reg.WarmStart(); n > 0 || jobsRestored > 0 {
+			logger.Info("warm start",
+				slog.Int("models", n),
+				slog.Int("job_results", jobsRestored),
+				slog.String("store_dir", cfg.StoreDir))
 		}
 	}
 	return s, nil
@@ -213,10 +249,12 @@ func (s *Server) Close() error {
 	return s.reg.Flush()
 }
 
-// statusWriter captures the response code for logging and metrics.
+// statusWriter captures the response code and body size for logging and
+// metrics.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -228,7 +266,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the underlying writer so NDJSON streaming works
@@ -243,10 +283,52 @@ func (w *statusWriter) Flush() {
 // per-batch write deadlines of the synthesize stream).
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// ServeHTTP routes requests. Routing is by hand (not ServeMux patterns) so
-// the module keeps working under the pre-1.22 mux semantics selected by its
-// go directive.
+// obsKey keys the per-request observability carrier in the request context.
+type obsKey struct{}
+
+// reqObs is the per-request observability state the middleware threads to
+// handlers: the trace to hang spans on, plus fields the handler fills for
+// the access-log line. One goroutine owns it at a time (the middleware
+// before and after route; the handler in between), so fields need no locks.
+type reqObs struct {
+	trace *obs.Trace
+	// tenant is the authenticated tenant name ("" anonymous), set by route.
+	tenant string
+	// records counts what a synthesize stream released, set by the handler.
+	records int
+}
+
+// obsFrom extracts the request's observability carrier (nil when the
+// request did not come through ServeHTTP — direct handler tests).
+func obsFrom(ctx context.Context) *reqObs {
+	ro, _ := ctx.Value(obsKey{}).(*reqObs)
+	return ro
+}
+
+// traceFrom extracts the request's trace (nil-safe for direct handler
+// tests; every obs.Trace/Span method tolerates nil receivers).
+func traceFrom(ctx context.Context) *obs.Trace {
+	if ro := obsFrom(ctx); ro != nil {
+		return ro.trace
+	}
+	return nil
+}
+
+// ServeHTTP is the instrumentation middleware around the hand-rolled router
+// (not ServeMux patterns, so the module keeps working under the pre-1.22 mux
+// semantics selected by its go directive): it mints the request's trace
+// (ingesting a W3C traceparent header when one arrives), echoes X-Request-Id,
+// and after routing records the trace into the debug ring, the latency
+// histogram, the per-handler counters, and one structured access-log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	traceID, parentID, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	tr := obs.NewTrace(traceID, parentID)
+	ro := &reqObs{trace: tr}
+	r = r.WithContext(context.WithValue(r.Context(), obsKey{}, ro))
+	w.Header().Set("X-Request-Id", tr.RequestID)
+
+	root := tr.StartSpan("request", nil)
 	sw := &statusWriter{ResponseWriter: w}
 	handler := s.route(sw, r)
 	if sw.status == 0 {
@@ -255,9 +337,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// nginx convention) rather than a misleading 200.
 		sw.status = 499
 	}
+	root.SetAttr("handler", handler)
+	root.SetAttr("status", strconv.Itoa(sw.status))
+	root.End()
+	tr.Finish()
+	s.traces.Add(tr)
+
+	dur := time.Since(start)
 	s.metrics.Request(handler, sw.status)
-	if s.cfg.Log != nil {
-		s.cfg.Log.Printf("%s %s -> %d", r.Method, r.URL.Path, sw.status)
+	s.metrics.ObserveRequest(handler, dur.Seconds())
+	if s.cfg.AccessLog {
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("handler", handler),
+			slog.Int("status", sw.status),
+			slog.Int64("dur_ms", dur.Milliseconds()),
+			slog.Int64("bytes", sw.bytes),
+			slog.String("tenant", ro.tenant),
+			slog.Int("records", ro.records),
+			slog.String("request_id", tr.RequestID),
+			slog.String("trace_id", tr.TraceID),
+		)
 	}
 }
 
@@ -284,8 +385,19 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 	if !ok {
 		return "auth"
 	}
+	if ro := obsFrom(r.Context()); ro != nil {
+		ro.tenant = jobOwner(tn)
+	}
 
 	switch {
+	case path == "/v1/debug/traces":
+		if !requireMethod(w, r, http.MethodGet) {
+			return "debugtraces"
+		}
+		if requireRole(w, tn, tenant.RoleAdmin) {
+			s.handleDebugTraces(w, r)
+		}
+		return "debugtraces"
 	case path == "/v1/models":
 		switch r.Method {
 		case http.MethodPost:
@@ -329,6 +441,19 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		return "jobs"
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		rest := strings.TrimPrefix(path, "/v1/jobs/")
+		if id, ok := strings.CutSuffix(rest, "/events"); ok {
+			if !validJobID(id) {
+				writeError(w, http.StatusNotFound, "malformed job id %q", id)
+				return "jobevents"
+			}
+			if !requireMethod(w, r, http.MethodGet) {
+				return "jobevents"
+			}
+			if requireRole(w, tn, tenant.RoleReader) {
+				s.handleJobEvents(w, r, id, tn)
+			}
+			return "jobevents"
+		}
 		if id, ok := strings.CutSuffix(rest, "/result"); ok {
 			if !validJobID(id) {
 				writeError(w, http.StatusNotFound, "malformed job id %q", id)

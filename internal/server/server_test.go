@@ -47,13 +47,18 @@ func testCSV(n int) string {
 	return b.String()
 }
 
-// newServer builds the handler or fails the test.
+// newServer builds the handler or fails the test. Closing the server is
+// registered before the caller's ts.Close cleanup (LIFO), so the statelog
+// flusher drains after the HTTP server stops and before t.TempDir removes
+// the store directory — otherwise a background ledger/snapshot write races
+// the directory cleanup.
 func newServer(t testing.TB, cfg server.Config) *server.Server {
 	t.Helper()
 	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
 	}
+	t.Cleanup(func() { _ = srv.Close() })
 	return srv
 }
 

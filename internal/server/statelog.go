@@ -2,8 +2,10 @@ package server
 
 import (
 	"errors"
+	"log/slog"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -25,6 +27,8 @@ type stateLog struct {
 	st  *store.Store
 	reg *Registry
 	led *ledger
+	log *slog.Logger
+	lim *obs.Limiter // rate-limits flush-failure lines per record
 	// jobRecord resolves a job ID to its persistent record; it returns
 	// false when the job is gone or holds nothing persistable (the flusher
 	// then simply skips the write — the matching eviction already deleted
@@ -45,11 +49,19 @@ type stateLog struct {
 	flushMu sync.Mutex
 }
 
-func newStateLog(st *store.Store, reg *Registry, led *ledger, jobRecord func(string) (*store.JobRecord, bool)) *stateLog {
+func newStateLog(st *store.Store, reg *Registry, led *ledger, jobRecord func(string) (*store.JobRecord, bool), logger *slog.Logger, lim *obs.Limiter) *stateLog {
+	if logger == nil {
+		logger = obs.Discard()
+	}
+	if lim == nil {
+		lim = obs.NewLimiter(0)
+	}
 	l := &stateLog{
 		st:          st,
 		reg:         reg,
 		led:         led,
+		log:         logger,
+		lim:         lim,
 		jobRecord:   jobRecord,
 		dirtyModels: make(map[string]struct{}),
 		jobPuts:     make(map[string]struct{}),
@@ -168,19 +180,37 @@ func (l *stateLog) drain() {
 			continue // evicted or unpersistable: nothing to write
 		}
 		if err := l.st.PutJob(rec); err != nil {
+			l.logFlushError("job result", "job", id, err)
 			l.remark(func() { l.jobPuts[id] = struct{}{} })
 		}
 	}
 	for _, id := range b.jobDels {
 		if err := l.st.DeleteJob(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+			l.logFlushError("job delete", "job", id, err)
 			l.remark(func() { l.jobDels[id] = struct{}{} })
 		}
 	}
 	if b.ledgerDirty {
 		if err := l.st.PutLedger(l.led.snapshot()); err != nil {
+			l.logFlushError("privacy ledger", "ledger", "ledger", err)
 			l.remark(func() { l.ledgerDirty = true })
 		}
 	}
+}
+
+// logFlushError emits one rate-limited levelled line for a failed statelog
+// write, keyed per record so a flapping disk reports once per interval per
+// model/job with a suppressed count — previously these failures were
+// visible only in the /healthz store stats.
+func (l *stateLog) logFlushError(what, keyName, key string, err error) {
+	allowed, suppressed := l.lim.Allow("statelog:" + keyName + ":" + key)
+	if !allowed {
+		return
+	}
+	l.log.Error("statelog flush failed: "+what+" re-queued",
+		slog.String(keyName, key),
+		slog.String("error", err.Error()),
+		slog.Int64("suppressed", suppressed))
 }
 
 // remark re-queues failed work under the state lock (without waking the
