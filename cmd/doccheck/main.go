@@ -1,0 +1,184 @@
+// Command doccheck is a repo-local vet check enforcing doc-comment coverage:
+// every exported identifier in the given packages must carry a godoc
+// comment, and every non-test file's package clause must belong to a package
+// that documents itself somewhere. The public sgf package and the
+// backend-facing internal packages are this repo's API surface — an exported
+// name without a sentence of intent is an API nobody can implement against,
+// which is exactly the failure mode a pluggable-backend seam cannot afford.
+//
+//	go run ./cmd/doccheck . ./internal/core ./internal/backend ./internal/backend/bayes ./internal/backend/marginal
+//
+// The check is purely syntactic (go/parser with comments, no type checking):
+// a declaration is "documented" when the declaration — or, for grouped
+// var/const/type specs, the group — has a leading comment. Test files are
+// skipped, as are embedded interface fields and underscore declarations.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// finding is one undocumented exported identifier.
+type finding struct {
+	pos  token.Position
+	what string
+}
+
+// documented reports whether a doc comment group carries any text.
+func documented(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.TrimSpace(doc.Text()) != ""
+}
+
+// checkGen walks one const/var/type declaration group.
+func checkGen(fset *token.FileSet, gd *ast.GenDecl, out *[]finding) {
+	groupDoc := documented(gd.Doc)
+	for _, spec := range gd.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && !groupDoc && !documented(sp.Doc) {
+				*out = append(*out, finding{fset.Position(sp.Pos()), "type " + sp.Name.Name})
+			}
+			checkTypeMembers(fset, sp, out)
+		case *ast.ValueSpec:
+			// A grouped const/var block documents its members collectively;
+			// inside an undocumented group every exported name is flagged.
+			if groupDoc || documented(sp.Doc) {
+				continue
+			}
+			for _, name := range sp.Names {
+				if name.IsExported() {
+					kind := "var"
+					if gd.Tok == token.CONST {
+						kind = "const"
+					}
+					*out = append(*out, finding{fset.Position(name.Pos()), kind + " " + name.Name})
+				}
+			}
+		}
+	}
+}
+
+// checkTypeMembers flags undocumented exported fields of exported structs
+// and methods of exported interfaces — the parts of a type a backend author
+// has to read to implement or construct it.
+func checkTypeMembers(fset *token.FileSet, sp *ast.TypeSpec, out *[]finding) {
+	if !sp.Name.IsExported() {
+		return
+	}
+	var fields *ast.FieldList
+	var kind string
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		fields, kind = t.Fields, "field"
+	case *ast.InterfaceType:
+		fields, kind = t.Methods, "method"
+	default:
+		return
+	}
+	for _, f := range fields.List {
+		if documented(f.Doc) || documented(f.Comment) {
+			continue
+		}
+		// Embedded fields and interface embeddings carry their own docs.
+		for _, name := range f.Names {
+			if name.IsExported() {
+				*out = append(*out, finding{fset.Position(name.Pos()),
+					fmt.Sprintf("%s %s.%s", kind, sp.Name.Name, name.Name)})
+			}
+		}
+	}
+}
+
+// checkFile walks one parsed file and appends undocumented exports.
+func checkFile(fset *token.FileSet, file *ast.File, out *[]finding) bool {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || documented(d.Doc) {
+				continue
+			}
+			what := "func " + d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				// Methods on unexported receivers are not API surface.
+				if recvName := receiverType(d.Recv.List[0].Type); recvName != "" && !ast.IsExported(recvName) {
+					continue
+				} else {
+					what = fmt.Sprintf("method %s.%s", recvName, d.Name.Name)
+				}
+			}
+			*out = append(*out, finding{fset.Position(d.Pos()), what})
+		case *ast.GenDecl:
+			checkGen(fset, d, out)
+		}
+	}
+	return documented(file.Doc)
+}
+
+// receiverType unwraps the receiver type expression to its base identifier.
+func receiverType(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverType(t.X)
+	case *ast.IndexExpr:
+		return receiverType(t.X)
+	}
+	return ""
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	var findings []finding
+	checkedFiles := 0
+	fset := token.NewFileSet()
+	for _, dir := range os.Args[1:] {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		pkgDocumented := false
+		var pkgPos token.Position
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			checkedFiles++
+			if checkFile(fset, file, &findings) {
+				pkgDocumented = true
+			}
+			pkgPos = fset.Position(file.Package)
+		}
+		if !pkgDocumented && checkedFiles > 0 {
+			findings = append(findings, finding{pkgPos, "package " + filepath.Base(dir) + " (no package doc comment in any file)"})
+		}
+	}
+	if checkedFiles == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: no Go files found in the given packages; wrong directory?")
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: undocumented exported %s\n", f.pos, f.what)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d files, every exported identifier documented\n", checkedFiles)
+}

@@ -1,0 +1,14 @@
+package bayes_test
+
+import (
+	"testing"
+
+	"repro/internal/backend/bayes"
+	"repro/internal/backend/conformance"
+)
+
+// TestConformance runs the shared backend compliance suite against the
+// Bayesian-network backend.
+func TestConformance(t *testing.T) {
+	conformance.Run(t, bayes.ID)
+}

@@ -1,0 +1,14 @@
+package marginal_test
+
+import (
+	"testing"
+
+	"repro/internal/backend/conformance"
+	"repro/internal/backend/marginal"
+)
+
+// TestConformance runs the shared backend compliance suite against the
+// independent-marginals backend.
+func TestConformance(t *testing.T) {
+	conformance.Run(t, marginal.ID)
+}

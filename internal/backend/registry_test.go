@@ -1,0 +1,44 @@
+package backend_test
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/backend/bayes"
+	"repro/internal/backend/marginal"
+)
+
+// TestRegistry pins the registration surface: both shipped backends are
+// discoverable, IDs is sorted, the default is registered, and duplicate or
+// empty registrations panic.
+func TestRegistry(t *testing.T) {
+	ids := backend.IDs()
+	if !slices.IsSorted(ids) {
+		t.Errorf("IDs() not sorted: %v", ids)
+	}
+	for _, id := range []string{backend.Default, bayes.ID, marginal.ID} {
+		if !slices.Contains(ids, id) {
+			t.Errorf("IDs() = %v, missing %q", ids, id)
+		}
+		b, ok := backend.Lookup(id)
+		if !ok || b.ID() != id {
+			t.Errorf("Lookup(%q) = %v, %v", id, b, ok)
+		}
+	}
+	if _, ok := backend.Lookup("no-such-backend"); ok {
+		t.Error("Lookup of unknown backend succeeded")
+	}
+
+	mustPanic(t, "duplicate", func() { backend.Register(bayes.Backend{}) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s registration did not panic", what)
+		}
+	}()
+	f()
+}

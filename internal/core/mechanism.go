@@ -18,10 +18,14 @@ import (
 // generate a candidate synthetic with the generative model, and release it
 // only if the privacy test passes.
 type Mechanism struct {
+	// Synth draws candidates from the generative model and prices their
+	// generation probabilities for the privacy test.
 	Synth Synthesizer
 	// Seeds is the synthesis split DS of the input dataset.
 	Seeds *dataset.Dataset
-	Test  TestConfig
+	// Test configures the plausible-deniability test applied to every
+	// candidate before release.
+	Test TestConfig
 }
 
 // NewMechanism validates the configuration (|D| ≥ k is required by

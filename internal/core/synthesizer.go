@@ -40,9 +40,11 @@ type Synthesizer interface {
 // every candidate; setting OmegaLo == OmegaHi gives the fixed-ω variants of
 // §6, and a proper range gives the ω ∈R [lo, hi] variants.
 type SeedSynthesizer struct {
-	Model   *bayesnet.Model
-	OmegaLo int
-	OmegaHi int
+	// Model supplies the conditional distributions records are re-sampled
+	// from.
+	Model *bayesnet.Model
+	// OmegaLo, OmegaHi bound the per-candidate re-sampled attribute count ω.
+	OmegaLo, OmegaHi int
 }
 
 // NewSeedSynthesizer validates the ω range against the model width.
@@ -254,6 +256,7 @@ func (s *SeedSynthesizer) Prober(y dataset.Record) func(d dataset.Record) float6
 // generation is seed-independent, every record of the input dataset is an
 // equally plausible seed and the privacy test always passes (§8).
 type MarginalSynthesizer struct {
+	// Model supplies the per-attribute marginal distributions.
 	Model *bayesnet.Model
 }
 

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/acs"
+	"repro/internal/backend"
+	"repro/internal/backend/bayes"
 	"repro/internal/bayesnet"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -135,6 +137,10 @@ type Pipeline struct {
 	Budgets   privacy.ModelNoiseBudgets
 	Structure *bayesnet.Structure
 	Model     *bayesnet.Model
+	// Gen wraps Model behind the pluggable backend interface; the ω-variant
+	// mechanisms are built through it, so the evaluation exercises the same
+	// seam the serving layer does.
+	Gen backend.Model
 	// MarginalModel is the privacy-preserving marginals baseline.
 	MarginalModel *bayesnet.Model
 
@@ -238,6 +244,7 @@ func BuildPipelineCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*
 	if err := p.MarginalModel.Freeze(0); err != nil {
 		return nil, err
 	}
+	p.Gen = bayes.New(p.Model, p.Structure)
 	p.ModelLearnTime = time.Since(learnStart)
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
@@ -276,9 +283,11 @@ func BuildPipelineCtx(ctx context.Context, cfg Config, progress ProgressFunc) (*
 	return p, nil
 }
 
-// Mechanism builds the plausible deniability mechanism for one ω variant.
+// Mechanism builds the plausible deniability mechanism for one ω variant,
+// going through the backend seam (identical synthesis to constructing the
+// seed synthesizer directly).
 func (p *Pipeline) Mechanism(om OmegaSpec) (*core.Mechanism, error) {
-	syn, err := core.NewSeedSynthesizer(p.Model, om.Lo, om.Hi)
+	syn, err := p.Gen.Synthesizer(om.Lo, om.Hi)
 	if err != nil {
 		return nil, err
 	}

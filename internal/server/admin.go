@@ -27,6 +27,7 @@ type modelSummary struct {
 	ID      string     `json:"id"`
 	State   ModelState `json:"state"`
 	Created *time.Time `json:"created,omitempty"`
+	Backend string     `json:"backend,omitempty"`
 	Rows    int        `json:"rows,omitempty"`
 	FitMS   int64      `json:"fit_ms,omitempty"`
 	// Resident reports whether the model is loaded in memory; Snapshot
@@ -110,6 +111,7 @@ func (s *Server) handleListModels(w http.ResponseWriter, _ *http.Request, tn *te
 			ID:       e.ID,
 			State:    state,
 			Created:  &created,
+			Backend:  e.Opts.Backend,
 			Rows:     e.Rows,
 			FitMS:    e.FitDuration().Milliseconds(),
 			Resident: true,

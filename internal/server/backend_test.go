@@ -1,0 +1,293 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	sgf "repro"
+	"repro/internal/backend"
+	"repro/internal/dataset"
+	"repro/internal/store"
+)
+
+// fitBackendModel uploads the test CSV against a named backend and returns
+// the fit response.
+func fitBackendModel(t testing.TB, ts *httptest.Server, backendID string) (string, *http.Response) {
+	t.Helper()
+	req := map[string]any{
+		"metadata": json.RawMessage(testMetaJSON),
+		"csv":      testCSV(300),
+		"seed":     11,
+	}
+	if backendID != "" {
+		req["backend"] = backendID
+	}
+	resp := postJSON(t, ts.URL+"/v1/models", req)
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+// TestFitMarginalBackend drives the independent-marginals backend through
+// the full fit → status → synthesize flow and pins the places the backend
+// ID must surface.
+func TestFitMarginalBackend(t *testing.T) {
+	ts := newTestServer(t)
+
+	body, resp := fitBackendModel(t, ts, "marginal")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("marginal fit status = %d, body %s", resp.StatusCode, body)
+	}
+	var fit struct {
+		ID      string `json:"id"`
+		Backend string `json:"backend"`
+	}
+	if err := json.Unmarshal([]byte(body), &fit); err != nil {
+		t.Fatal(err)
+	}
+	if fit.Backend != "marginal" {
+		t.Errorf("fit response backend = %q, want marginal", fit.Backend)
+	}
+
+	// Same data under the default backend must be a different cache entry.
+	bayesBody, bresp := fitBackendModel(t, ts, "")
+	var bayesFit struct {
+		ID      string `json:"id"`
+		Backend string `json:"backend"`
+	}
+	if err := json.Unmarshal([]byte(bayesBody), &bayesFit); err != nil {
+		t.Fatal(err)
+	}
+	if bresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bayesnet fit status = %d, body %s", bresp.StatusCode, bayesBody)
+	}
+	if bayesFit.ID == fit.ID {
+		t.Fatalf("marginal and bayesnet fits share model ID %s", fit.ID)
+	}
+	if bayesFit.Backend != "bayesnet" {
+		t.Errorf("default fit response backend = %q, want bayesnet", bayesFit.Backend)
+	}
+
+	// Repeating the marginal fit must hit the cache under the same ID.
+	againBody, aresp := fitBackendModel(t, ts, "marginal")
+	if aresp.StatusCode != http.StatusOK || !strings.Contains(againBody, fit.ID) {
+		t.Fatalf("repeat marginal fit: status %d, body %s, want cached %s", aresp.StatusCode, againBody, fit.ID)
+	}
+
+	// Synthesize must stream records, byte-identically across worker counts.
+	out, sresp := synthesize(t, ts, fit.ID, baseSynthReq())
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("marginal synthesize status = %d, body %s", sresp.StatusCode, out)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 25 {
+		t.Fatalf("marginal synthesize streamed %d records, want 25", n)
+	}
+	reqW1 := baseSynthReq()
+	reqW1["workers"] = 1
+	if outW1, _ := synthesize(t, ts, fit.ID, reqW1); outW1 != out {
+		t.Error("marginal stream differs between workers=1 and workers=4")
+	}
+
+	// Status must report the backend, and the structure summary must be the
+	// marginal backend's: natural order, no edges.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/models/" + fit.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State     string `json:"state"`
+			Backend   string `json:"backend"`
+			Structure *struct {
+				Order   []string            `json:"order"`
+				Parents map[string][]string `json:"parents"`
+				Edges   int                 `json:"edges"`
+			} `json:"structure"`
+		}
+		decodeJSON(t, resp, &st)
+		if st.State == "ready" {
+			if st.Backend != "marginal" {
+				t.Errorf("status backend = %q, want marginal", st.Backend)
+			}
+			if st.Structure == nil || len(st.Structure.Order) != 3 || st.Structure.Edges != 0 {
+				t.Fatalf("marginal structure summary = %+v, want 3 attrs and 0 edges", st.Structure)
+			}
+			for attr, parents := range st.Structure.Parents {
+				if len(parents) != 0 {
+					t.Errorf("marginal attribute %s has parents %v, want none", attr, parents)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("marginal model never became ready")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFitUnknownBackendRejected pins the 400 for a backend nobody
+// registered.
+func TestFitUnknownBackendRejected(t *testing.T) {
+	ts := newTestServer(t)
+	body, resp := fitBackendModel(t, ts, "copula")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend fit status = %d, body %s, want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "unknown backend") || !strings.Contains(body, "copula") {
+		t.Errorf("unknown-backend error does not name the backend: %s", body)
+	}
+}
+
+// TestMultiReleaseSynthesize pins the multiply-synthetic-release stream
+// layout: {"release": j} separators, independent per-release seeds, the
+// X-Sgf-Releases trailer, and ledger admission of records × releases.
+func TestMultiReleaseSynthesize(t *testing.T) {
+	ts := newTestServer(t)
+	id := fitTestModel(t, ts)
+
+	req := baseSynthReq()
+	req["records"] = 10
+	req["releases"] = 3
+	body, resp := synthesize(t, ts, id, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multi-release synthesize status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Trailer.Get("X-Sgf-Releases"); got != "3" {
+		t.Errorf("X-Sgf-Releases = %q, want 3", got)
+	}
+	if got := resp.Trailer.Get("X-Sgf-Released"); got != "30" {
+		t.Errorf("X-Sgf-Released = %q, want 30 (10 records × 3 releases)", got)
+	}
+
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 33 {
+		t.Fatalf("multi-release stream has %d lines, want 33 (3 separators + 30 records)", len(lines))
+	}
+	sections := make(map[int][]string)
+	current := -1
+	for i, line := range lines {
+		var sep struct {
+			Release *int `json:"release"`
+		}
+		if err := json.Unmarshal([]byte(line), &sep); err != nil {
+			t.Fatalf("line %d is not JSON: %v (%s)", i, err, line)
+		}
+		if sep.Release != nil && !strings.Contains(line, "COLOR") {
+			current = *sep.Release
+			continue
+		}
+		if current < 0 {
+			t.Fatalf("record before the first release separator: %s", line)
+		}
+		sections[current] = append(sections[current], line)
+	}
+	for j := 0; j < 3; j++ {
+		if len(sections[j]) != 10 {
+			t.Fatalf("release %d has %d records, want 10", j, len(sections[j]))
+		}
+	}
+
+	// Release 0 runs with the request seed itself, so it matches a plain
+	// single-release stream; later releases use independent seeds and must
+	// differ from it.
+	single := baseSynthReq()
+	single["records"] = 10
+	singleBody, _ := synthesize(t, ts, id, single)
+	if got := strings.Join(sections[0], "\n") + "\n"; got != singleBody {
+		t.Error("release 0 differs from the single-release stream at the same seed")
+	}
+	if strings.Join(sections[1], "\n") == strings.Join(sections[0], "\n") {
+		t.Error("releases 0 and 1 are identical; per-release seeds are not independent")
+	}
+
+	// The ledger accounted every release: 30 here + 10 from the
+	// single-release request above.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "sgfd_records_released_total 40") {
+		t.Error("metrics do not account 40 released records across releases")
+	}
+
+	// Bounds: releases outside [1, 32] and records × releases overflow.
+	for _, bad := range []map[string]any{
+		{"records": 10, "k": 3, "gamma": 8, "releases": 33},
+		{"records": 10, "k": 3, "gamma": 8, "releases": -1},
+		{"records": 50_000, "k": 3, "gamma": 8, "releases": 32},
+	} {
+		if out, r := synthesize(t, ts, id, bad); r.StatusCode != http.StatusBadRequest {
+			t.Errorf("releases=%v records=%v: status %d (%s), want 400", bad["releases"], bad["records"], r.StatusCode, out)
+		}
+	}
+}
+
+// ghostModel wraps a fitted model but claims an unregistered backend ID, so
+// an encoded snapshot of it is exactly what a server from the future (or a
+// build with a backend compiled out) would hand us.
+type ghostModel struct{ backend.Model }
+
+func (ghostModel) Backend() string { return "ghost" }
+
+// TestImportUnknownBackendRejected pins that a snapshot whose fitted-model
+// payload names an unregistered backend is rejected at import with a clear
+// error instead of registering a model that can never synthesize.
+func TestImportUnknownBackendRejected(t *testing.T) {
+	meta, err := dataset.NewMetadata(
+		dataset.NewCategorical("COLOR", "red", "green", "blue"),
+		dataset.NewCategorical("SIZE", "s", "m", "l"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.New(meta)
+	for i := 0; i < 120; i++ {
+		data.Append(dataset.Record{uint16(i % 3), uint16((i / 3) % 3)})
+	}
+	fm, err := sgf.Fit(data, sgf.FitOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Gen = ghostModel{fm.Gen}
+	snap := &store.Snapshot{
+		ID:      "m-feedfacefeedface",
+		Key:     strings.Repeat("feedface", 8),
+		Created: time.Unix(1700000000, 0).UTC(),
+		Rows:    data.Len(),
+		Seed:    11,
+		Model:   fm,
+	}
+	raw, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/models/import", "application/octet-stream", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ghost-backend import status = %d, body %s, want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown backend") || !strings.Contains(string(body), "ghost") {
+		t.Errorf("import error does not name the unknown backend: %s", body)
+	}
+}

@@ -1,0 +1,87 @@
+package server_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// testdata/prepr_v2.snap is a snapshot container written before the
+// pluggable-backend refactor (format v2 container, fitted-model payload
+// version 1 — the bayesnet-hardwired layout), and prepr_v2.ndjson is the
+// exact NDJSON stream the pre-refactor server produced for the synthesize
+// request below. Together they pin the compatibility contract: a snapshot
+// from an old deployment must keep warm-starting and must keep serving
+// byte-identical records.
+//
+// Regenerate the NDJSON golden (only ever from a known-good build) with
+//
+//	SGFD_WRITE_COMPAT_GOLDEN=1 go test ./internal/server -run TestPrePRSnapshot
+const (
+	preprSnapPath   = "testdata/prepr_v2.snap"
+	preprNDJSONPath = "testdata/prepr_v2.ndjson"
+)
+
+// preprSynthBody is the pinned synthesize request. Fixed seed and explicit
+// parameters, so the stream depends only on the snapshot's model.
+const preprSynthBody = `{"records": 20, "k": 3, "gamma": 8, "seed": 42}`
+
+// TestPrePRSnapshotServesByteIdentically boots a server over a store
+// directory holding only the pre-refactor snapshot, lets warm-start revive
+// it, and asserts the served stream matches the recorded pre-refactor bytes.
+func TestPrePRSnapshotServesByteIdentically(t *testing.T) {
+	raw, err := os.ReadFile(preprSnapPath)
+	if err != nil {
+		t.Fatalf("reading pre-PR snapshot fixture: %v", err)
+	}
+	snap, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("pre-PR snapshot no longer decodes: %v", err)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snap.ID+".snap"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(t, server.Config{PoolSize: 4, CacheCap: 4, StoreDir: dir}))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/models/"+snap.ID+"/synthesize", "application/json",
+		strings.NewReader(preprSynthBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize from pre-PR snapshot: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Trailer.Get("X-Sgf-Released"); got != "20" {
+		t.Errorf("X-Sgf-Released = %q, want 20", got)
+	}
+
+	if os.Getenv("SGFD_WRITE_COMPAT_GOLDEN") != "" {
+		if err := os.WriteFile(preprNDJSONPath, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d-byte NDJSON golden", len(body))
+	}
+	want, err := os.ReadFile(preprNDJSONPath)
+	if err != nil {
+		t.Fatalf("reading NDJSON golden (regenerate from a known-good build with SGFD_WRITE_COMPAT_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("served stream diverged from the pre-refactor bytes:\ngot:  %s\nwant: %s", body, want)
+	}
+}

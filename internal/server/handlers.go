@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"strings"
 	"time"
 
@@ -70,16 +71,20 @@ type fitRequest struct {
 	ModelEps   float64 `json:"model_eps,omitempty"`
 	ModelDelta float64 `json:"model_delta,omitempty"`
 	MaxCost    float64 `json:"max_cost,omitempty"`
-	Seed       uint64  `json:"seed,omitempty"`
+	// Backend selects the generative-model backend by registered ID
+	// ("bayesnet" | "marginal"; empty = "bayesnet").
+	Backend string `json:"backend,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
 }
 
 // fitResponse answers POST /v1/models.
 type fitResponse struct {
-	ID     string             `json:"id"`
-	State  ModelState         `json:"state"`
-	Cached bool               `json:"cached"`
-	Rows   int                `json:"rows"`
-	Clean  dataset.CleanStats `json:"clean"`
+	ID      string             `json:"id"`
+	State   ModelState         `json:"state"`
+	Cached  bool               `json:"cached"`
+	Backend string             `json:"backend"`
+	Rows    int                `json:"rows"`
+	Clean   dataset.CleanStats `json:"clean"`
 }
 
 // budgetJSON serializes an (ε, δ) pair.
@@ -88,7 +93,9 @@ type budgetJSON struct {
 	Delta   float64 `json:"delta"`
 }
 
-// structureJSON summarizes a learned structure for GET /v1/models/{id}.
+// structureJSON summarizes a fitted model's learned dependency structure
+// for GET /v1/models/{id}; the shape is backend-neutral (an independence
+// model reports empty parent lists and zero edges).
 type structureJSON struct {
 	Order   []string            `json:"order"`
 	Parents map[string][]string `json:"parents"`
@@ -102,6 +109,7 @@ type statusResponse struct {
 	Error       string             `json:"error,omitempty"`
 	Created     time.Time          `json:"created"`
 	FitMS       int64              `json:"fit_ms"`
+	Backend     string             `json:"backend,omitempty"`
 	Rows        int                `json:"rows"`
 	Clean       dataset.CleanStats `json:"clean"`
 	Splits      *[3]int            `json:"splits,omitempty"`
@@ -122,7 +130,13 @@ type synthRequest struct {
 	MaxPlausible      int     `json:"max_plausible"`
 	MaxCheckPlausible int     `json:"max_check_plausible"`
 	Workers           int     `json:"workers"`
-	Seed              uint64  `json:"seed"`
+	// Releases asks for m multiply-synthetic datasets in one stream
+	// (0 = 1). Release j is generated with seed Seed+j, each passing the
+	// privacy test independently; with releases > 1 every dataset is
+	// preceded by a {"release": j} separator line. The ledger accounts all
+	// records × releases.
+	Releases int    `json:"releases,omitempty"`
+	Seed     uint64 `json:"seed"`
 }
 
 // Per-request generation ceilings: one request may not commit the server
@@ -131,6 +145,7 @@ type synthRequest struct {
 const (
 	maxRecordsPerRequest    = 1_000_000
 	maxCandidatesPerRequest = 100_000_000
+	maxReleasesPerRequest   = 32
 )
 
 // batchWriteTimeout is the rolling deadline for writing one NDJSON batch; a
@@ -171,6 +186,19 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request, tn *tenant.Id
 			return
 		}
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+
+	// Normalize and validate the backend up front: the fit runs in the
+	// background, so an unknown backend must be a 400 here rather than an
+	// asynchronous fit failure discovered on the first status poll.
+	backendID := req.Backend
+	if backendID == "" {
+		backendID = sgf.DefaultBackend
+	}
+	if !slices.Contains(sgf.Backends(), backendID) {
+		writeError(w, http.StatusBadRequest, "unknown backend %q (registered: %s)",
+			req.Backend, strings.Join(sgf.Backends(), ", "))
 		return
 	}
 
@@ -231,17 +259,24 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request, tn *tenant.Id
 		ModelEps:   req.ModelEps,
 		ModelDelta: req.ModelDelta,
 		MaxCost:    req.MaxCost,
+		Backend:    backendID,
 		Seed:       req.Seed,
 	}
 	fmt.Fprintf(hash, "|eps=%g|delta=%g|maxcost=%g|seed=%d",
 		opts.ModelEps, opts.ModelDelta, opts.MaxCost, opts.Seed)
+	// The default backend is deliberately NOT part of the key, so cache
+	// keys (and the content-addressed model IDs derived from them) of
+	// models fitted before backends were selectable stay stable.
+	if backendID != sgf.DefaultBackend {
+		fmt.Fprintf(hash, "|backend=%s", backendID)
+	}
 	key := hex.EncodeToString(hash.Sum(nil))
 
 	if entry, ok := s.reg.Lookup(key); ok {
 		s.recordOwner(entry, tn)
 		state, _ := entry.State()
 		writeJSON(w, http.StatusOK, fitResponse{
-			ID: entry.ID, State: state, Cached: true, Rows: entry.Rows, Clean: entry.Clean,
+			ID: entry.ID, State: state, Cached: true, Backend: entry.Opts.Backend, Rows: entry.Rows, Clean: entry.Clean,
 		})
 		return
 	}
@@ -289,11 +324,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request, tn *tenant.Id
 		status = http.StatusOK
 	}
 	writeJSON(w, status, fitResponse{
-		ID:     entry.ID,
-		State:  state,
-		Cached: cached,
-		Rows:   entry.Rows,
-		Clean:  entry.Clean,
+		ID:      entry.ID,
+		State:   state,
+		Cached:  cached,
+		Backend: entry.Opts.Backend,
+		Rows:    entry.Rows,
+		Clean:   entry.Clean,
 	})
 }
 
@@ -317,9 +353,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, id string,
 	if ferr != nil {
 		resp.Error = ferr.Error()
 	}
+	resp.Backend = entry.Opts.Backend
 	if state == StateReady {
 		fm, err := entry.Wait(nil)
 		if err == nil {
+			resp.Backend = fm.Backend
 			resp.Splits = &fm.Splits
 			resp.ModelBudget = &budgetJSON{Epsilon: fm.ModelBudget.Epsilon, Delta: fm.ModelBudget.Delta}
 			resp.Structure = summarizeStructure(fm)
@@ -328,26 +366,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, id string,
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// summarizeStructure renders the backend-neutral model description.
 func summarizeStructure(fm *sgf.FittedModel) *structureJSON {
-	meta := fm.Model.Meta
-	st := fm.Structure
-	out := &structureJSON{
-		Order:   make([]string, len(st.Order)),
-		Parents: make(map[string][]string, len(meta.Attrs)),
-		Edges:   st.Graph.NumEdges(),
-	}
-	for i, attr := range st.Order {
-		out.Order[i] = meta.Attrs[attr].Name
-	}
-	for attr := range meta.Attrs {
-		parents := st.Graph.Parents[attr]
-		names := make([]string, len(parents))
-		for i, p := range parents {
-			names[i] = meta.Attrs[p].Name
-		}
-		out.Parents[meta.Attrs[attr].Name] = names
-	}
-	return out
+	d := fm.Describe()
+	return &structureJSON{Order: d.Order, Parents: d.Parents, Edges: d.Edges}
 }
 
 // handleSynthesize implements POST /v1/models/{id}/synthesize: run
@@ -385,6 +407,18 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 		writeError(w, http.StatusBadRequest, "max_candidates must be in [0, %d]", maxCandidatesPerRequest)
 		return
 	}
+	releases := req.Releases
+	if releases == 0 {
+		releases = 1
+	}
+	if releases < 1 || releases > maxReleasesPerRequest {
+		writeError(w, http.StatusBadRequest, "releases must be in [1, %d]", maxReleasesPerRequest)
+		return
+	}
+	if req.Records > maxRecordsPerRequest/releases {
+		writeError(w, http.StatusBadRequest, "records × releases must not exceed %d", maxRecordsPerRequest)
+		return
+	}
 	if req.K == 0 {
 		req.K = 10
 	}
@@ -401,7 +435,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	// what was actually delivered into durable spend.
 	endStage = sc.start("admit")
 	budgetEps, budgetDelta := s.effectiveBudget(tn)
-	settle, aerr := s.ledger.admit(jobOwner(tn), req.K, req.Gamma, req.Eps0, req.Records, budgetEps, budgetDelta)
+	settle, aerr := s.ledger.admit(jobOwner(tn), req.K, req.Gamma, req.Eps0, req.Records*releases, budgetEps, budgetDelta)
 	endStage()
 	if aerr != nil {
 		s.metrics.BudgetDenied()
@@ -471,18 +505,15 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	h := w.Header()
 	h.Set("Content-Type", "application/x-ndjson")
 	h.Set("X-Sgf-Model", entry.ID)
-	h.Set("Trailer", "X-Sgf-Candidates, X-Sgf-Released, X-Sgf-Pass-Rate, X-Sgf-Elapsed-Ms, X-Sgf-Stage-Ms")
+	h.Set("Trailer", "X-Sgf-Candidates, X-Sgf-Released, X-Sgf-Releases, X-Sgf-Pass-Rate, X-Sgf-Elapsed-Ms, X-Sgf-Stage-Ms")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
-	meta := fm.Model.Meta
-	enc := newRecordEncoder(meta)
+	enc := newRecordEncoder(fm.Meta())
 	rc := http.NewResponseController(w)
 	var buf bytes.Buffer
 	var streamBytes int64
-	genSpan := sc.tr.StartSpan("generate", nil)
-	genStart := time.Now()
-	stats, err := sgf.GenerateTargetStream(ctx, mech, opts.Records, opts.MaxCandidates, granted, opts.Seed, func(batch []dataset.Record) error {
+	sink := func(batch []dataset.Record) error {
 		buf.Reset()
 		for _, rec := range batch {
 			enc.append(&buf, rec)
@@ -499,9 +530,45 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 			flusher.Flush()
 		}
 		return nil
-	})
+	}
+	genSpan := sc.tr.StartSpan("generate", nil)
+	genStart := time.Now()
+	// Multiply-synthetic releases: release j is an independent generation
+	// run with seed Seed+j, so a single-release stream is byte-identical to
+	// what the pre-release-option server produced, and each release can be
+	// reproduced individually. The separator line is only emitted when the
+	// client asked for more than one dataset.
+	var stats sgf.GenStats
+	err = nil
+	for j := 0; j < releases; j++ {
+		if releases > 1 {
+			buf.Reset()
+			fmt.Fprintf(&buf, "{\"release\":%d}\n", j)
+			_ = rc.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
+			if _, werr := w.Write(buf.Bytes()); werr != nil {
+				err = werr
+				break
+			}
+			streamBytes += int64(buf.Len())
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		var rs sgf.GenStats
+		rs, err = sgf.GenerateTargetStream(ctx, mech, opts.Records, opts.MaxCandidates, granted, opts.Seed+uint64(j), sink)
+		stats.Candidates += rs.Candidates
+		stats.Released += rs.Released
+		stats.SeedRejected += rs.SeedRejected
+		stats.CheckedTotal += rs.CheckedTotal
+		stats.Elapsed += rs.Elapsed
+		stats.SinkElapsed += rs.SinkElapsed
+		if err != nil {
+			break
+		}
+	}
 	genSpan.SetAttr("records", fmt.Sprint(stats.Released))
 	genSpan.SetAttr("candidates", fmt.Sprint(stats.Candidates))
+	genSpan.SetAttr("releases", fmt.Sprint(releases))
 	genSpan.End()
 	sc.parts = append(sc.parts, fmt.Sprintf("generate=%d", time.Since(genStart).Milliseconds()))
 	// The flush stage is the slice of generate spent inside the NDJSON sink
@@ -528,6 +595,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	}
 	h.Set("X-Sgf-Candidates", fmt.Sprint(stats.Candidates))
 	h.Set("X-Sgf-Released", fmt.Sprint(stats.Released))
+	h.Set("X-Sgf-Releases", fmt.Sprint(releases))
 	h.Set("X-Sgf-Pass-Rate", fmt.Sprintf("%.6f", stats.PassRate()))
 	h.Set("X-Sgf-Elapsed-Ms", fmt.Sprint(stats.Elapsed.Milliseconds()))
 	h.Set("X-Sgf-Stage-Ms", sc.trailer())

@@ -389,7 +389,11 @@ func (r *Registry) insertSnapshot(snap *store.Snapshot) (e *ModelEntry, fresh bo
 			ModelEps:   snap.ModelEps,
 			ModelDelta: snap.ModelDelta,
 			MaxCost:    snap.MaxCost,
-			Seed:       snap.Seed,
+			// The backend travels inside the fitted-model payload, not the
+			// container; surface it on the entry so listings and status
+			// reads report it for revived models too.
+			Backend: snap.Model.Backend,
+			Seed:    snap.Seed,
 		},
 		done:   done,
 		state:  StateReady,

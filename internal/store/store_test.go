@@ -329,8 +329,9 @@ func TestStoreMaxBytesEvictsOldest(t *testing.T) {
 }
 
 const (
-	goldenV1Path = "testdata/golden_v1.snap"
-	goldenV2Path = "testdata/golden_v2.snap"
+	goldenV1Path       = "testdata/golden_v1.snap"
+	goldenV2Path       = "testdata/golden_v2.snap"
+	goldenPayload1Path = "testdata/golden_payload1.snap"
 )
 
 // TestGoldenSnapshot pins the current on-disk format: the checked-in v2
@@ -428,6 +429,63 @@ func TestGoldenV1Migration(t *testing.T) {
 		}
 	}
 	// And the migrated form is a fixed point of the v2 codec.
+	re, err := again.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(migrated, re) {
+		t.Fatal("migrated snapshot is not a decode→encode fixed point")
+	}
+}
+
+// TestGoldenPayloadV1Migration pins the pre-backend fitted-model payload:
+// a version-2 container whose nested payload is version 1 (Bayes net
+// hardwired, no backend ID — what every deployment before the pluggable-
+// backend refactor wrote) must keep decoding, must come back as the
+// "bayesnet" backend, and must synthesize byte-identical records to the
+// same model fitted today. Re-encoding migrates to the current payload and
+// round-trips as a fixed point.
+func TestGoldenPayloadV1Migration(t *testing.T) {
+	raw, err := os.ReadFile(goldenPayload1Path)
+	if err != nil {
+		t.Fatalf("reading payload-v1 golden snapshot: %v", err)
+	}
+	snap, err := store.Decode(raw)
+	if err != nil {
+		t.Fatalf("payload-v1 snapshot no longer decodes: %v", err)
+	}
+	if snap.Model.Backend != "bayesnet" {
+		t.Fatalf("payload-v1 snapshot decoded as backend %q, want bayesnet", snap.Model.Backend)
+	}
+	// The fixture was fit from the same data and options as testSnapshot(42),
+	// so the revived model must serve exactly what a fresh fit serves.
+	want, have := synth(t, testSnapshot(t, 42).Model), synth(t, snap.Model)
+	for i := 0; i < want.Len(); i++ {
+		if !want.Row(i).Equal(have.Row(i)) {
+			t.Fatalf("record %d differs between payload-v1 revival and fresh fit", i)
+		}
+	}
+
+	migrated, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(migrated, raw) {
+		t.Fatal("re-encode still writes the legacy payload")
+	}
+	again, err := store.Decode(migrated)
+	if err != nil {
+		t.Fatalf("migrated snapshot does not decode: %v", err)
+	}
+	if again.Model.Backend != "bayesnet" {
+		t.Fatalf("migrated snapshot decoded as backend %q, want bayesnet", again.Model.Backend)
+	}
+	have2 := synth(t, again.Model)
+	for i := 0; i < want.Len(); i++ {
+		if !want.Row(i).Equal(have2.Row(i)) {
+			t.Fatalf("record %d differs after payload v1→v2 migration", i)
+		}
+	}
 	re, err := again.Encode()
 	if err != nil {
 		t.Fatal(err)

@@ -35,12 +35,19 @@ package sgf
 import (
 	"context"
 	"fmt"
+	"strings"
 
+	"repro/internal/backend"
+	"repro/internal/backend/bayes"
 	"repro/internal/bayesnet"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/privacy"
 	"repro/internal/rng"
+
+	// Linked for its registration side effect: the independent-marginals
+	// backend is selectable by name wherever sgf is imported.
+	_ "repro/internal/backend/marginal"
 )
 
 // Re-exported data substrate types.
@@ -91,6 +98,25 @@ type (
 	Budget = privacy.Budget
 )
 
+// Re-exported backend-interface types. The backend seam (internal/backend)
+// is what makes the privacy test mechanism-agnostic in code, not just in
+// the paper: any registered GenerativeModel can sit under Mechanism 1.
+type (
+	// GenerativeModel is a fitted generative model behind the pluggable
+	// backend interface (see internal/backend and docs/BACKENDS.md).
+	GenerativeModel = backend.Model
+	// ModelDescription is a backend-neutral summary of a fitted model's
+	// learned dependency structure.
+	ModelDescription = backend.Description
+)
+
+// DefaultBackend is the backend used when FitOptions.Backend is empty: the
+// paper's seed-based Bayes-net synthesis.
+const DefaultBackend = backend.Default
+
+// Backends returns the registered generative-model backend IDs, sorted.
+func Backends() []string { return backend.IDs() }
+
 // RNG re-exports the deterministic generator used across the framework.
 type RNG = rng.RNG
 
@@ -101,9 +127,9 @@ func NewRNG(seed uint64) *RNG { return rng.New(seed) }
 type Options struct {
 	// Records is the number of synthetic records to release.
 	Records int
-	// K, Gamma are the plausible deniability parameters of Definition 1
-	// (k ≥ 1, γ > 1).
-	K     int
+	// K is the plausible deniability parameter k ≥ 1 of Definition 1.
+	K int
+	// Gamma is the indistinguishability ratio γ > 1 of Definition 1.
 	Gamma float64
 	// Eps0 randomizes the test threshold (Privacy Test 2); > 0 makes each
 	// release (ε0+ln(1+γ/t), e^(−ε0(k−t)))-DP per Theorem 1. Zero selects
@@ -115,17 +141,17 @@ type Options struct {
 	// ModelEps/ModelDelta set the differential privacy budget of the
 	// generative model itself (§3.5). ModelEps <= 0 trains without noise
 	// (the seeds are still protected by the privacy test).
-	ModelEps   float64
-	ModelDelta float64
+	ModelEps, ModelDelta float64
 	// Bucketizer optionally coarsens parent configurations (bkt(), §3.3);
 	// nil means no bucketization.
 	Bucketizer *dataset.Bucketizer
 	// MaxCost caps parent-set complexity (eq. 6; 0 = 128).
 	MaxCost float64
+	// Backend selects the generative-model backend ("" = DefaultBackend).
+	Backend string
 	// MaxPlausible / MaxCheckPlausible are the §5 early-exit knobs
 	// (0 = unlimited).
-	MaxPlausible      int
-	MaxCheckPlausible int
+	MaxPlausible, MaxCheckPlausible int
 	// Workers bounds generation parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Seed drives all randomness.
@@ -142,7 +168,8 @@ type Report struct {
 	// ReleaseBudget is the per-released-record (ε, δ) of Theorem 1
 	// (zero when the deterministic test was used).
 	ReleaseBudget Budget
-	// Structure is the learned dependency structure.
+	// Structure is the learned dependency structure (nil for backends
+	// without one, e.g. "marginal").
 	Structure *Structure
 	// Splits records the sizes of the DT/DP/DS partitions used.
 	Splits [3]int
@@ -153,13 +180,15 @@ type Report struct {
 type FitOptions struct {
 	// ModelEps/ModelDelta set the differential privacy budget of the
 	// generative model (§3.5). ModelEps <= 0 trains without noise.
-	ModelEps   float64
-	ModelDelta float64
+	ModelEps, ModelDelta float64
 	// Bucketizer optionally coarsens parent configurations; nil means the
 	// metadata's default (no bucketization).
 	Bucketizer *dataset.Bucketizer
 	// MaxCost caps parent-set complexity (eq. 6; 0 = 128).
 	MaxCost float64
+	// Backend selects the generative-model backend by registered ID
+	// ("" = DefaultBackend, the Bayes net). See Backends for the list.
+	Backend string
 	// Seed drives the dataset split and any model noise.
 	Seed uint64
 }
@@ -170,9 +199,17 @@ type FitOptions struct {
 // parameters — against the same fitted model. FittedModel is immutable
 // after Fit returns and safe for concurrent use.
 type FittedModel struct {
-	// Model is the learned conditional model (eq. 2).
+	// Backend is the registered ID of the backend that fitted Gen.
+	Backend string
+	// Gen is the fitted generative model behind the backend interface; all
+	// synthesis goes through it.
+	Gen GenerativeModel
+	// Model is the learned conditional model (eq. 2) when Backend is
+	// "bayesnet"; nil for other backends. Kept for compatibility with code
+	// written against the Bayes-net-only API.
 	Model *Model
-	// Structure is the learned dependency structure.
+	// Structure is the learned dependency structure when Backend is
+	// "bayesnet"; nil for other backends.
 	Structure *Structure
 	// Seeds is the DS split: the only records Mechanism 1 may use as seeds.
 	Seeds *Dataset
@@ -183,12 +220,28 @@ type FittedModel struct {
 	Splits [3]int
 }
 
+// Meta returns the schema the model was fitted over.
+func (fm *FittedModel) Meta() *Metadata { return fm.Gen.Meta() }
+
+// Describe summarizes the fitted model's learned dependency structure in a
+// backend-neutral form.
+func (fm *FittedModel) Describe() *ModelDescription { return fm.Gen.Describe() }
+
 // Fit runs the learning half of the §3 pipeline: split the dataset into
 // structure/parameter/seed partitions and learn the (optionally DP)
-// generative model. The result can serve any number of Synthesize calls.
+// generative model through the selected backend. The result can serve any
+// number of Synthesize calls.
 func Fit(data *Dataset, opts FitOptions) (*FittedModel, error) {
 	if data.Len() < 10 {
 		return nil, fmt.Errorf("sgf: dataset too small (%d records)", data.Len())
+	}
+	id := opts.Backend
+	if id == "" {
+		id = DefaultBackend
+	}
+	be, ok := backend.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("sgf: unknown backend %q (registered: %s)", id, strings.Join(backend.IDs(), ", "))
 	}
 	bkt := opts.Bucketizer
 	if bkt == nil {
@@ -202,39 +255,29 @@ func Fit(data *Dataset, opts FitOptions) (*FittedModel, error) {
 	}
 	dt, dp, ds := parts[0], parts[1], parts[2]
 
-	fm := &FittedModel{Seeds: ds, Splits: [3]int{dt.Len(), dp.Len(), ds.Len()}}
-
-	scfg := StructureConfig{MaxCost: opts.MaxCost, MinCorr: 0.01}
-	mcfg := ModelConfig{Alpha: 1, NoiseKey: fmt.Sprintf("sgf-%d", opts.Seed)}
-	if opts.ModelEps > 0 {
-		delta := opts.ModelDelta
-		if delta <= 0 {
-			delta = 1e-9
-		}
-		budgets, err := privacy.CalibrateModel(len(data.Meta.Attrs), opts.ModelEps, delta)
-		if err != nil {
-			return nil, err
-		}
-		scfg.DP, scfg.EpsH, scfg.EpsN, scfg.Rng = true, budgets.EpsH, budgets.EpsN, r.Split()
-		mcfg.DP, mcfg.EpsP = true, budgets.EpsP
-		fm.ModelBudget = budgets.Model
-	}
-
-	st, err := bayesnet.LearnStructure(dt, bkt, scfg)
+	fm := &FittedModel{Backend: id, Seeds: ds, Splits: [3]int{dt.Len(), dp.Len(), ds.Len()}}
+	fm.Gen, fm.ModelBudget, err = be.Fit(backend.FitData{
+		Structure:  dt,
+		Params:     dp,
+		Bkt:        bkt,
+		ModelEps:   opts.ModelEps,
+		ModelDelta: opts.ModelDelta,
+		MaxCost:    opts.MaxCost,
+		Seed:       opts.Seed,
+		RNG:        r,
+	})
 	if err != nil {
 		return nil, err
 	}
-	fm.Structure = st
-	fm.Model, err = bayesnet.LearnModel(dp, bkt, st, mcfg)
-	if err != nil {
-		return nil, err
+	if bm, ok := fm.Gen.(*bayes.Model); ok {
+		fm.Model, fm.Structure = bm.M, bm.St
 	}
 	// Freeze the sampling tables up front: Fit is the expensive once-per-model
 	// half of the pipeline, so every Synthesize call against the fitted model
 	// serves from the lock-free frozen path. Frozen output is byte-identical
-	// to the lazy path (pinned by the determinism suite), so this changes
-	// speed, never bytes.
-	if err := fm.Model.Freeze(0); err != nil {
+	// to the lazy path (pinned by the determinism and conformance suites), so
+	// this changes speed, never bytes.
+	if err := fm.Gen.Freeze(0); err != nil {
 		return nil, fmt.Errorf("sgf: freezing model: %w", err)
 	}
 	return fm, nil
@@ -245,8 +288,9 @@ func Fit(data *Dataset, opts FitOptions) (*FittedModel, error) {
 type SynthOptions struct {
 	// Records is the number of synthetic records to release.
 	Records int
-	// K, Gamma are the plausible deniability parameters of Definition 1.
-	K     int
+	// K is the plausible deniability parameter k ≥ 1 of Definition 1.
+	K int
+	// Gamma is the indistinguishability ratio γ > 1 of Definition 1.
 	Gamma float64
 	// Eps0 > 0 selects the randomized Privacy Test 2 (Theorem 1).
 	Eps0 float64
@@ -255,9 +299,9 @@ type SynthOptions struct {
 	OmegaLo, OmegaHi int
 	// MaxCandidates caps the candidates drawn (0 = 100×Records).
 	MaxCandidates int
-	// MaxPlausible / MaxCheckPlausible are the §5 early-exit knobs.
-	MaxPlausible      int
-	MaxCheckPlausible int
+	// MaxPlausible / MaxCheckPlausible are the §5 early-exit knobs
+	// (0 = unlimited).
+	MaxPlausible, MaxCheckPlausible int
 	// Workers bounds generation parallelism (0 = GOMAXPROCS). By the
 	// core.GenerateCtx determinism contract the output does not depend on
 	// it.
@@ -271,9 +315,9 @@ type SynthOptions struct {
 func (fm *FittedModel) Mechanism(opts SynthOptions) (*Mechanism, error) {
 	lo, hi := opts.OmegaLo, opts.OmegaHi
 	if lo == 0 && hi == 0 {
-		lo, hi = 1, len(fm.Model.Meta.Attrs)
+		lo, hi = 1, len(fm.Meta().Attrs)
 	}
-	syn, err := core.NewSeedSynthesizer(fm.Model, lo, hi)
+	syn, err := fm.Gen.Synthesizer(lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -309,6 +353,32 @@ func (fm *FittedModel) SynthesizeStream(ctx context.Context, opts SynthOptions, 
 	return core.GenerateTargetStream(ctx, mech, opts.Records, opts.MaxCandidates, opts.Workers, opts.Seed, sink)
 }
 
+// SynthesizeReleases produces m multiply-synthetic datasets (the combining-
+// rules workload of the partially/fully synthetic literature surveyed by
+// Bowen & Liu): release j is exactly an independent Synthesize call with
+// seed opts.Seed + j, so releases are reproducible individually and the
+// first release is byte-identical to a plain Synthesize with the same
+// options. Each release passes the privacy test independently; a tenant's
+// ledger must account for all m.
+func (fm *FittedModel) SynthesizeReleases(ctx context.Context, opts SynthOptions, m int) ([]*Dataset, []GenStats, error) {
+	if m < 1 {
+		return nil, nil, fmt.Errorf("sgf: number of releases must be positive (got %d)", m)
+	}
+	outs := make([]*Dataset, 0, m)
+	stats := make([]GenStats, 0, m)
+	for j := 0; j < m; j++ {
+		ro := opts
+		ro.Seed = opts.Seed + uint64(j)
+		out, st, err := fm.Synthesize(ctx, ro)
+		if err != nil {
+			return outs, stats, fmt.Errorf("sgf: release %d of %d: %w", j, m, err)
+		}
+		outs = append(outs, out)
+		stats = append(stats, st)
+	}
+	return outs, stats, nil
+}
+
 // Synthesize runs the full §3 pipeline on a dataset: split into
 // structure/parameter/seed partitions, learn the (optionally DP) generative
 // model, and release Records synthetics through Mechanism 1 with the
@@ -329,6 +399,7 @@ func SynthesizeCtx(ctx context.Context, data *Dataset, opts Options) (*Dataset, 
 		ModelDelta: opts.ModelDelta,
 		Bucketizer: opts.Bucketizer,
 		MaxCost:    opts.MaxCost,
+		Backend:    opts.Backend,
 		Seed:       opts.Seed,
 	})
 	if err != nil {
