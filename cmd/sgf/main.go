@@ -12,6 +12,10 @@
 // Records failing the cleaning rules of §4 (missing or out-of-domain
 // values) are dropped before synthesis; the report includes the Table 2
 // statistics for the input.
+//
+// The `sgf scenarios` subcommand family (list | run | bench) is the
+// conformance runner over the declarative scenario packages under
+// scenarios/ — see scenarios.go and docs/SCENARIOS.md.
 package main
 
 import (
@@ -35,6 +39,9 @@ func (b *bucketFlags) Set(v string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
+		os.Exit(scenariosMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		dataPath   = flag.String("data", "", "input CSV file (required)")
 		metaPath   = flag.String("meta", "", "metadata spec file (required)")

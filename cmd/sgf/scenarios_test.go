@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScenariosUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := scenariosMain(nil, &out, &errOut); code != 2 {
+		t.Errorf("no subcommand: exit %d, want 2", code)
+	}
+	if code := scenariosMain([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "bogus") {
+		t.Errorf("stderr %q does not name the bad subcommand", errOut.String())
+	}
+}
+
+func TestScenariosList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := scenariosMain([]string{"list", "-dir", "../../scenarios"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("list: exit %d, stderr %s", code, errOut.String())
+	}
+	for _, want := range []string{"acs-bayesnet-small", "tenant-budget-denied", "+eval", "+bench", "(dedicated server)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestScenariosUnknownName(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := scenariosMain([]string{"list", "-dir", "../../scenarios", "no-such-scenario"}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("unknown scenario: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no-such-scenario") {
+		t.Errorf("stderr %q does not name the unknown scenario", errOut.String())
+	}
+}

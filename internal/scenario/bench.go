@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/buildinfo"
+)
+
+// This file is the per-scenario benchmark harness behind `sgf scenarios
+// bench`: each scenario with a `bench` section gets its synthesize
+// request timed end to end — HTTP request sent to last streamed byte
+// read — count times, with the minimum kept (the iteration least
+// disturbed by noisy neighbours, the same estimator `benchjson compare`
+// applies to -count=N microbenchmark runs). The output is the exact
+// cmd/benchjson artifact shape, so the existing compare/ratio CI gates
+// apply to scenario benchmarks unchanged.
+
+// BenchResult is one scenario benchmark in cmd/benchjson's Result shape.
+type BenchResult struct {
+	// Name is "BenchmarkScenario/<scenario>" — the Benchmark prefix keeps
+	// compare's parsing assumptions intact.
+	Name string `json:"name"`
+	// Iterations is the number of timed requests (min taken across them).
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the minimum wall-clock of one full request, in ns.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is zero: client-side wall-clock benchmarks carry no
+	// per-op allocation accounting.
+	BytesPerOp int64 `json:"b_per_op"`
+	// AllocsPerOp is zero, for the same reason as BytesPerOp.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra carries records/sec and bytes/op-style custom series.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchReport is the artifact shape cmd/benchjson emits and its compare
+// subcommand reads.
+type BenchReport struct {
+	// Version is the build stamp of the binary that ran the benchmarks.
+	Version string `json:"version"`
+	// GoVersion identifies the toolchain.
+	GoVersion string `json:"go_version"`
+	// GOOS is the platform the benchmarks ran on.
+	GOOS string `json:"goos"`
+	// GOARCH is the architecture the benchmarks ran on.
+	GOARCH string `json:"goarch"`
+	// Benchmarks holds one entry per scenario bench.
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// NewBenchReport wraps results in the artifact envelope.
+func NewBenchReport(results []BenchResult) *BenchReport {
+	return &BenchReport{
+		Version:    buildinfo.Version,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+}
+
+// Bench runs one scenario's benchmark: fit once (cached across
+// iterations by the server's content-addressed registry), then time count
+// synthesize requests and keep the minimum. Scenarios without a bench
+// section return (zero, false).
+func (r *Runner) Bench(ctx context.Context, m *Manifest, count int) (BenchResult, bool, error) {
+	if m.Bench == nil {
+		return BenchResult{}, false, nil
+	}
+	if count <= 0 {
+		count = 3
+	}
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	base, cleanup, err := r.base(m)
+	if err != nil {
+		return BenchResult{}, false, err
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	modelID, err := r.fit(ctx, base, m)
+	if err != nil {
+		return BenchResult{}, false, err
+	}
+
+	b := m.Bench
+	body := map[string]any{"records": b.Records, "seed": b.Seed}
+	if b.K != 0 {
+		body["k"] = b.K
+	}
+	if b.Gamma != 0 {
+		body["gamma"] = b.Gamma
+	}
+	if b.Eps0 != 0 {
+		body["eps0"] = b.Eps0
+	}
+	if b.OmegaLo != 0 {
+		body["omega_lo"] = b.OmegaLo
+	}
+	if b.OmegaHi != 0 {
+		body["omega_hi"] = b.OmegaHi
+	}
+	if b.MaxCandidates != 0 {
+		body["max_candidates"] = b.MaxCandidates
+	}
+
+	minNs := float64(0)
+	var bytesPerOp int64
+	for i := 0; i < count; i++ {
+		start := time.Now()
+		status, raw, err := r.do(ctx, http.MethodPost, base+"/v1/models/"+modelID+"/synthesize", body)
+		elapsed := time.Since(start)
+		if err != nil {
+			return BenchResult{}, false, fmt.Errorf("scenario %s: bench iteration %d: %w", m.Name, i+1, err)
+		}
+		if status != http.StatusOK {
+			return BenchResult{}, false, fmt.Errorf("scenario %s: bench iteration %d: status %d: %s",
+				m.Name, i+1, status, errorBody(raw))
+		}
+		// A mid-stream error line means the numbers time a failure.
+		if lines := splitLines(string(raw)); len(lines) > 0 {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal([]byte(lines[len(lines)-1]), &e) == nil && e.Error != "" {
+				return BenchResult{}, false, fmt.Errorf("scenario %s: bench iteration %d: stream failed: %s", m.Name, i+1, e.Error)
+			}
+		}
+		if ns := float64(elapsed.Nanoseconds()); minNs == 0 || ns < minNs {
+			minNs = ns
+			bytesPerOp = int64(len(raw))
+		}
+	}
+
+	res := BenchResult{
+		Name:       "BenchmarkScenario/" + m.Name,
+		Iterations: int64(count),
+		NsPerOp:    minNs,
+		Extra: map[string]float64{
+			"records/sec": float64(b.Records) / (minNs / 1e9),
+			"stream-B/op": float64(bytesPerOp),
+		},
+	}
+	return res, true, nil
+}

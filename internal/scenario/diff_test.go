@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffLinesEqual(t *testing.T) {
+	if d := DiffLines("a\nb\n", "a\nb\n"); d != "" {
+		t.Fatalf("equal streams diff = %q", d)
+	}
+}
+
+func TestDiffLinesFirstMismatch(t *testing.T) {
+	d := DiffLines("a\nX\nc\n", "a\nb\nc\n")
+	for _, want := range []string{"line 2", "got:", "X", "want:", "b"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff %q missing %q", d, want)
+		}
+	}
+}
+
+func TestDiffLinesExtraAndTruncated(t *testing.T) {
+	if d := DiffLines("a\nb\nc\n", "a\nb\n"); !strings.Contains(d, "extra line") {
+		t.Errorf("extra-lines diff = %q", d)
+	}
+	if d := DiffLines("a\n", "a\nb\nc\n"); !strings.Contains(d, "truncated") {
+		t.Errorf("truncated diff = %q", d)
+	}
+}
+
+func TestDiffLinesTrailingWhitespace(t *testing.T) {
+	if d := DiffLines("a\nb", "a\nb\n"); !strings.Contains(d, "trailing whitespace") {
+		t.Errorf("trailing-newline diff = %q", d)
+	}
+}
+
+func TestDiffLinesTruncatesLongLines(t *testing.T) {
+	long := strings.Repeat("x", 5000)
+	d := DiffLines(long+"\n", "short\n")
+	if len(d) > 1000 {
+		t.Fatalf("diff of a %d-byte line is %d bytes — not truncated", len(long), len(d))
+	}
+	if !strings.Contains(d, "bytes total") {
+		t.Errorf("diff %q does not note the truncation", d)
+	}
+}
+
+func TestNormalizeResultJSON(t *testing.T) {
+	raw := []byte(`{
+		"elapsed_ms": 123,
+		"config": {"K": 10, "Workers": 7, "Seed": 1},
+		"pipeline": {"run_ms": 9, "workers": 3, "edges": 4},
+		"list": [{"synth_ms": 5, "value": 2}]
+	}`)
+	got, err := NormalizeResultJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	for _, gone := range []string{"_ms", "Workers", "workers"} {
+		if strings.Contains(s, gone) {
+			t.Errorf("normalized result still contains %q:\n%s", gone, s)
+		}
+	}
+	for _, kept := range []string{`"K": 10`, `"Seed": 1`, `"edges": 4`, `"value": 2`} {
+		if !strings.Contains(s, kept) {
+			t.Errorf("normalized result lost %q:\n%s", kept, s)
+		}
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Error("normalized result has no trailing newline")
+	}
+
+	// Normalization is idempotent and key-order independent.
+	again, err := NormalizeResultJSON(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != s {
+		t.Error("normalization is not idempotent")
+	}
+
+	if _, err := NormalizeResultJSON([]byte("not json")); err == nil {
+		t.Error("invalid JSON normalized without error")
+	}
+}

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// Spawned is an in-process sgfd serving on a loopback listener: the "live
+// sgfd" the runner talks to when no external -addr is given, and the
+// dedicated server a scenario with a `server` section always gets (an
+// external server cannot be reconfigured per scenario).
+type Spawned struct {
+	// URL is the server's base URL ("http://127.0.0.1:PORT").
+	URL string
+
+	srv  *server.Server
+	http *http.Server
+	ln   net.Listener
+}
+
+// Spawn starts an in-process sgfd on 127.0.0.1:0 configured from spec
+// (nil = defaults). The caller must Close it.
+func Spawn(spec *ServerSpec) (*Spawned, error) {
+	cfg := server.Config{}
+	if spec != nil {
+		cfg.PoolSize = spec.Workers
+		cfg.TenantBudgetEps = spec.TenantBudgetEps
+		cfg.TenantBudgetDelta = spec.TenantBudgetDelta
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("spawning sgfd: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("spawning sgfd: %w", err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	return &Spawned{
+		URL:  "http://" + ln.Addr().String(),
+		srv:  srv,
+		http: hs,
+		ln:   ln,
+	}, nil
+}
+
+// Close stops the HTTP server and flushes the server's state.
+func (s *Spawned) Close() {
+	s.http.Close()
+	s.srv.Close()
+}
