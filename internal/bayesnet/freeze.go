@@ -165,6 +165,57 @@ func (f *Frozen) CondDist(attr int, rec dataset.Record) []float64 {
 	return fa.probs[row : row+int64(fa.card)]
 }
 
+// SampleChain draws order[from:] in sequence into dst, each value
+// conditioned on the partially updated record — the σ-suffix re-sampling
+// loop of seed-based synthesis fused into one call over the frozen tables.
+// It consumes exactly the RNG state and produces exactly the values of the
+// equivalent per-attribute SampleAttr loop; cold attributes fall back to the
+// lazy locked path individually.
+func (f *Frozen) SampleChain(dst dataset.Record, order []int, from int, r *rng.RNG) {
+	attrs := f.attrs
+	for idx := from; idx < len(order); idx++ {
+		attr := order[idx]
+		fa := &attrs[attr]
+		if fa.probs == nil {
+			dst[attr] = f.model.SampleAttr(attr, dst, r)
+			continue
+		}
+		c := int64(f.model.ConfigIndex(attr, dst))
+		row := c * int64(fa.card)
+		cum := fa.cum[row : row+int64(fa.card)]
+		if fa.guide != nil {
+			goff := c * int64(fa.gslots)
+			dst[attr] = uint16(r.DrawCumGuided(cum, fa.guide[goff:goff+int64(fa.gslots)]))
+		} else {
+			dst[attr] = uint16(r.DrawCum(cum))
+		}
+	}
+}
+
+// TailProducts fills tail (length len(order)+1) with the running conditional
+// products the generation-probability prober needs: tail[idx] = Π_{u ≥ idx}
+// Pr{rec_order(u) | rec}, accumulated right to left with tail[len(order)]
+// = 1 — one fused scan over the frozen probability rows instead of one
+// CondProb call per attribute. The multiplication order is identical to the
+// per-attribute loop it replaces, so every tail value is bit-identical.
+func (f *Frozen) TailProducts(rec dataset.Record, order []int, tail []float64) {
+	attrs := f.attrs
+	m := len(order)
+	tail[m] = 1
+	for idx := m - 1; idx >= 0; idx-- {
+		attr := order[idx]
+		fa := &attrs[attr]
+		var p float64
+		if fa.probs == nil {
+			p = f.model.CondProb(attr, rec[attr], rec)
+		} else {
+			row := int64(f.model.ConfigIndex(attr, rec)) * int64(fa.card)
+			p = fa.probs[row+int64(rec[attr])]
+		}
+		tail[idx] = tail[idx+1] * p
+	}
+}
+
 // SampleAttrFrozen samples through the frozen tables when present and falls
 // back to the lazy locked path otherwise. Hot loops should prefer grabbing
 // Frozen() once; this is the convenience form for mixed callers.

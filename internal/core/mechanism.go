@@ -26,6 +26,24 @@ type Mechanism struct {
 	// Test configures the plausible-deniability test applied to every
 	// candidate before release.
 	Test TestConfig
+	// Scan optionally holds the precomputed privacy-test scan layout for
+	// (Synth, Seeds). Serving layers that run many mechanisms over one
+	// fitted model set it to a shared ScanTable (see sgf.FittedModel); when
+	// nil, generation builds it lazily on the first run.
+	Scan *ScanTable
+
+	scanOnce sync.Once
+}
+
+// ensureScan resolves the scan table once per mechanism, honoring a
+// caller-provided Scan.
+func (m *Mechanism) ensureScan() *ScanTable {
+	m.scanOnce.Do(func() {
+		if m.Scan == nil {
+			m.Scan = ScanTableFor(m.Synth, m.Seeds)
+		}
+	})
+	return m.Scan
 }
 
 // NewMechanism validates the configuration (|D| ≥ k is required by
@@ -63,31 +81,47 @@ func (m *Mechanism) Once(r *rng.RNG) (dataset.Record, TestResult, bool) {
 type genScratch struct {
 	rec dataset.Record
 	ps  proberState
-	// probe is the bound method value of ps.proberEval, created once so the
-	// per-candidate test does not allocate a closure.
-	probe func(dataset.Record) float64
 }
 
 func newGenScratch(numAttrs int) *genScratch {
-	sc := &genScratch{rec: make(dataset.Record, numAttrs)}
-	sc.probe = sc.ps.proberEval
-	return sc
+	return &genScratch{rec: make(dataset.Record, numAttrs)}
 }
 
-// onceInto is Once through the allocation-free hot path: the candidate is
-// generated into sc.rec (the returned record ALIASES sc.rec — clone it to
+// onceFast is Once through the allocation-free hot path: the candidate is
+// generated into sc.rec (the returned record ALIASES sc.rec — copy it to
 // keep it past the next iteration) and the privacy test runs on reused
-// prober state. It consumes exactly the RNG state Once would, and returns
-// exactly the same values.
-func (m *Mechanism) onceInto(hs hotSynthesizer, sc *genScratch, r *rng.RNG) (dataset.Record, TestResult, bool) {
-	seed := m.Seeds.Row(r.Intn(m.Seeds.Len()))
+// prober state against the precomputed scan layout. It consumes exactly
+// the RNG state Once would, and returns exactly the same values.
+func (m *Mechanism) onceFast(hs hotSynthesizer, sc *genScratch, st *ScanTable, pre *testPre, r *rng.RNG) (dataset.Record, TestResult, bool) {
+	seed := m.Seeds.Row(r.Intn(pre.n))
 	hs.generateInto(sc.rec, seed, r)
 	hs.proberInit(sc.rec, &sc.ps)
-	res, err := runTestScratch(&sc.ps, sc.probe, m.Seeds, seed, m.Test, r)
-	if err != nil {
-		panic(err)
-	}
+	res := runTestFast(&sc.ps, st, pre, m.Seeds, seed, r)
 	return sc.rec, res, res.Pass
+}
+
+// recordArena hands out record copies from growing block allocations, so
+// cloning a passing candidate out of the scratch buffer costs amortized
+// ~one allocation per hundreds of records instead of one per record. Blocks
+// are never reused: handed-out records stay valid for as long as the caller
+// keeps them (the GenerateTargetStream contract).
+type recordArena struct {
+	free []uint16
+	next int
+}
+
+func (a *recordArena) clone(src dataset.Record) dataset.Record {
+	m := len(src)
+	if len(a.free) < m {
+		if a.next < 1024 {
+			a.next = a.next*4 + 16
+		}
+		a.free = make([]uint16, a.next*m)
+	}
+	out := dataset.Record(a.free[:m:m])
+	a.free = a.free[m:]
+	copy(out, src)
+	return out
 }
 
 // ReleaseBudget returns the per-released-record (ε, δ) differential privacy
@@ -150,7 +184,18 @@ type GenConfig struct {
 	// without perturbing the seed (two runs whose seeds differ must never
 	// share streams, which perturbed seeds — e.g. seed+batch — would cause).
 	IndexOffset uint64
+	// BatchSize is the number of contiguous candidate indices a worker
+	// claims at a time; 0 means a sensible default. It tunes scheduling
+	// granularity only — candidate i's randomness is a pure function of
+	// (Seed, IndexOffset+i), so the output is byte-identical for any batch
+	// size (pinned by the batch-identity tests).
+	BatchSize int
 }
+
+// defaultGenBatch is the candidate-range claim size when GenConfig.BatchSize
+// is zero: large enough that the claim cursor and the per-batch ctx poll
+// vanish from profiles, small enough to balance workers on short runs.
+const defaultGenBatch = 256
 
 // Generate runs Mechanism 1 cfg.Candidates times and returns the released
 // synthetic records. See GenerateCtx for the determinism contract.
@@ -183,89 +228,140 @@ func GenerateCtx(ctx context.Context, mech *Mechanism, cfg GenConfig) (*dataset.
 	return dataset.FromRecords(mech.Seeds.Meta, released), stats, err
 }
 
+// genCounters is one worker's private statistics, merged under a mutex
+// after the worker drains — the per-candidate hot loop touches no shared
+// cache line.
+type genCounters struct {
+	cands, pass, checked, rejected int64
+}
+
 // generateSlots runs the candidate loop of GenerateCtx into caller-owned
 // per-candidate slots (len(slots) == cfg.Candidates, all entries nil on
 // entry): slot i receives candidate i's record iff it passed the privacy
 // test. Letting the caller own the slots is what allows
 // GenerateTargetStream to reuse one allocation across its chunks.
+//
+// Workers claim contiguous candidate ranges off a shared cursor (batched
+// work stealing): a claimed batch seeks the worker's stream seeder to its
+// start once and reseeds per candidate with one add, cancellation is
+// polled per batch, and statistics accumulate in per-worker counters.
+// Candidate i's randomness stays a pure function of (Seed, IndexOffset+i),
+// so slot contents are byte-identical whatever the worker count or batch
+// size.
 func generateSlots(ctx context.Context, mech *Mechanism, cfg GenConfig, slots []dataset.Record) (GenStats, error) {
+	start := time.Now()
+	if cfg.Candidates == 0 {
+		return GenStats{Elapsed: time.Since(start)}, ctx.Err()
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > cfg.Candidates && cfg.Candidates > 0 {
+	if workers > cfg.Candidates {
 		workers = cfg.Candidates
 	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = defaultGenBatch
+	}
 
-	start := time.Now()
-	var (
-		cands    int64
-		pass     int64
-		checked  int64
-		rejected int64
-	)
+	hs, hot := mech.Synth.(hotSynthesizer)
+	var st *ScanTable
+	var pre testPre
+	if hot {
+		st = mech.ensureScan()
+		var err error
+		pre, err = newTestPre(mech)
+		if err != nil {
+			// Config was validated at construction; failing here means the
+			// mechanism was mutated invalid afterwards, which is a
+			// programming error (Once panics the same way).
+			panic(err)
+		}
+	}
+
 	// Nil slot entries (rejected or cancelled) are squeezed out by the
 	// caller, so the released sequence follows candidate index order
 	// whatever the goroutine scheduling.
-	hs, hot := mech.Synth.(hotSynthesizer)
+	var (
+		total  genCounters
+		mu     sync.Mutex
+		cursor atomic.Int64
+	)
 	done := ctx.Done()
 	var wg sync.WaitGroup
-	lo := 0
 	for w := 0; w < workers; w++ {
-		share := cfg.Candidates / workers
-		if w < cfg.Candidates%workers {
-			share++
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
+			var c genCounters
 			var sc *genScratch
+			var arena recordArena
 			if hot {
 				sc = newGenScratch(len(mech.Seeds.Meta.Attrs))
 			}
+			seeder := rng.NewStreamSeeder(cfg.Seed)
 			r := rng.New(0) // reseeded per candidate below
-			for i := lo; i < hi; i++ {
+		claim:
+			for {
 				select {
 				case <-done:
-					return
+					break claim
 				default:
 				}
-				r.ReseedStream(cfg.Seed, cfg.IndexOffset+uint64(i))
-				var (
-					y   dataset.Record
-					res TestResult
-					ok  bool
-				)
-				if hot {
-					// Scratch-buffer generation: only passing candidates are
-					// cloned out; the rest cost zero allocations.
-					y, res, ok = mech.onceInto(hs, sc, r)
-					if ok {
-						y = y.Clone()
+				hi := int(cursor.Add(int64(batch)))
+				lo := hi - batch
+				if lo >= cfg.Candidates {
+					break
+				}
+				if hi > cfg.Candidates {
+					hi = cfg.Candidates
+				}
+				seeder.Seek(cfg.IndexOffset + uint64(lo))
+				for i := lo; i < hi; i++ {
+					seeder.Reseed(r)
+					var (
+						y   dataset.Record
+						res TestResult
+						ok  bool
+					)
+					if hot {
+						// Scratch-buffer generation: only passing candidates
+						// are copied out (through the arena); the rest cost
+						// zero allocations.
+						y, res, ok = mech.onceFast(hs, sc, st, &pre, r)
+						if ok {
+							y = arena.clone(y)
+						}
+					} else {
+						y, res, ok = mech.Once(r)
 					}
-				} else {
-					y, res, ok = mech.Once(r)
-				}
-				atomic.AddInt64(&cands, 1)
-				atomic.AddInt64(&checked, int64(res.Checked))
-				if res.SeedProb <= 0 {
-					atomic.AddInt64(&rejected, 1)
-				}
-				if ok {
-					slots[i] = y
-					atomic.AddInt64(&pass, 1)
+					c.cands++
+					c.checked += int64(res.Checked)
+					if res.SeedProb <= 0 {
+						c.rejected++
+					}
+					if ok {
+						slots[i] = y
+						c.pass++
+					}
 				}
 			}
-		}(lo, lo+share)
-		lo += share
+			mu.Lock()
+			total.cands += c.cands
+			total.pass += c.pass
+			total.checked += c.checked
+			total.rejected += c.rejected
+			mu.Unlock()
+		}()
 	}
 	wg.Wait()
 
 	stats := GenStats{
-		Candidates:   int(cands),
-		Released:     int(pass),
-		SeedRejected: int(rejected),
-		CheckedTotal: checked,
+		Candidates:   int(total.cands),
+		Released:     int(total.pass),
+		SeedRejected: int(total.rejected),
+		CheckedTotal: total.checked,
 		Elapsed:      time.Since(start),
 	}
 	return stats, ctx.Err()

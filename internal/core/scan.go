@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// The privacy test's plausible-seed scan is the hot path's hot path: for
+// every candidate it walks input records in a pseudo-random cyclic order
+// and asks each one "could you have been the seed?". This file holds the
+// batched kernel's scan machinery: a struct-of-arrays mirror of the seed
+// dataset (records re-laid in σ order as one flat row-major array, so the
+// per-record check is a handful of contiguous uint16 compares instead of a
+// pointer chase through record slices and the order permutation), a
+// precomputed coprime-stride mask replacing the per-candidate gcd walk, and
+// the scan loop itself, which tests each record against a precomputed
+// σ-agreement threshold instead of calling PartitionIndex or even touching
+// a float. Decisions, counters and RNG consumption are bit-identical to the
+// per-record path — pinned by the batch-identity and property suites.
+
+// maxScanTableElems caps the flat mirror's size (uint16 elements). Above
+// it, only the stride mask is built and the scan falls back to the
+// per-record evaluator.
+const maxScanTableElems = 1 << 27
+
+// ScanTable is an immutable, shareable scan layout for one (seed dataset,
+// σ order) pair: the flat struct-of-arrays mirror plus the coprime-stride
+// mask. Building one costs O(n·m); serving layers cache it per fitted
+// model (see sgf.FittedModel) and attach it to each Mechanism via the Scan
+// field so per-request runs skip the rebuild. A nil ScanTable is always
+// safe — the scan falls back to the per-record path.
+type ScanTable struct {
+	n, width int
+	// flat holds the dataset re-laid row-major in σ order: row i occupies
+	// flat[i*width : (i+1)*width] with position k holding record i's value
+	// of attribute order[k]. nil when the mirror would exceed
+	// maxScanTableElems.
+	flat []uint16
+	// mask is a bitset over [0, n): bit s is set iff gcd(s, n) == 1, so the
+	// cyclic scan's stride walk needs one bit test per step instead of a
+	// gcd loop.
+	mask []uint64
+}
+
+// NewScanTable builds the scan layout for the dataset under the given
+// attribute order (the synthesizer's σ). The dataset and order are read
+// once and not retained.
+func NewScanTable(data *dataset.Dataset, order []int) *ScanTable {
+	n, m := data.Len(), len(order)
+	t := &ScanTable{n: n, width: m, mask: coprimeMask(n)}
+	if int64(n)*int64(m) <= maxScanTableElems {
+		flat := make([]uint16, n*m)
+		for i := 0; i < n; i++ {
+			row := data.Row(i)
+			base := i * m
+			for k, attr := range order {
+				flat[base+k] = row[attr]
+			}
+		}
+		t.flat = flat
+	}
+	return t
+}
+
+// scanOrdered is implemented by synthesizers whose probers compare seeds
+// against a candidate along a fixed attribute order — the precondition for
+// the struct-of-arrays scan.
+type scanOrdered interface {
+	scanOrder() []int
+}
+
+// ScanTableFor builds the scan layout for a synthesizer over its seed
+// dataset, or returns nil when the synthesizer has no fixed scan order
+// (e.g. the constant-prober marginal baseline, which needs none: its scan
+// is computed analytically).
+func ScanTableFor(syn Synthesizer, seeds *dataset.Dataset) *ScanTable {
+	so, ok := syn.(scanOrdered)
+	if !ok {
+		return nil
+	}
+	order := so.scanOrder()
+	if len(order) != seeds.NumAttrs() {
+		return nil
+	}
+	return NewScanTable(seeds, order)
+}
+
+// coprimeMask returns the bitset of s in [0, n) with gcd(s, n) == 1,
+// built by clearing multiples of each prime factor of n.
+func coprimeMask(n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	mask := make([]uint64, (n+63)/64)
+	for i := range mask {
+		mask[i] = ^uint64(0)
+	}
+	clearMultiples := func(p int) {
+		for s := 0; s < n; s += p {
+			mask[s>>6] &^= 1 << (uint(s) & 63)
+		}
+	}
+	rem := n
+	for p := 2; p*p <= rem; p++ {
+		if rem%p == 0 {
+			clearMultiples(p)
+			for rem%p == 0 {
+				rem /= p
+			}
+		}
+	}
+	if rem > 1 {
+		clearMultiples(rem)
+	}
+	return mask
+}
+
+// coprime reports whether bit s is set in the mask.
+func (t *ScanTable) coprime(s int) bool {
+	return t.mask[s>>6]>>(uint(s)&63)&1 == 1
+}
+
+// strideFrom resolves the scan stride exactly as the gcd walk does: step
+// forward (wrapping past n to 1) until a stride coprime with n is found.
+func (t *ScanTable) strideFrom(s, n int) int {
+	for !t.coprime(s) {
+		s++
+		if s >= n {
+			s = 1
+		}
+	}
+	return s
+}
+
+// testPre is the per-run precomputation of the privacy test: parameters
+// validated once and limits resolved once, instead of per candidate.
+type testPre struct {
+	n, maxCheck, maxPlausible, k int
+	logGamma, eps0               float64
+	randomized                   bool
+}
+
+// newTestPre validates the mechanism's test configuration and resolves the
+// scan limits for its seed dataset.
+func newTestPre(m *Mechanism) (testPre, error) {
+	if err := m.Test.Validate(); err != nil {
+		return testPre{}, err
+	}
+	n := m.Seeds.Len()
+	if n == 0 {
+		return testPre{}, fmt.Errorf("core: privacy test on empty dataset")
+	}
+	pre := testPre{
+		n:            n,
+		maxCheck:     n,
+		maxPlausible: math.MaxInt,
+		k:            m.Test.K,
+		logGamma:     math.Log(m.Test.Gamma),
+		eps0:         m.Test.Eps0,
+		randomized:   m.Test.Randomized,
+	}
+	if c := m.Test.MaxCheckPlausible; c > 0 && c < n {
+		pre.maxCheck = c
+	}
+	if p := m.Test.MaxPlausible; p > 0 {
+		pre.maxPlausible = p
+	}
+	return pre, nil
+}
+
+// runTestFast is the batched kernel's privacy test: identical RNG
+// consumption, decisions and counters as RunTest over the same prober
+// state, with the per-record work reduced to integer compares. The seed's
+// partition and threshold are computed as before; the per-bucket partition
+// memo is folded into a σ-agreement interval (see initPartitions), so the
+// scan needs no floats at all. Three scan shapes:
+//
+//   - constant prober: every record matches or none does — the walk is
+//     computed analytically in O(1) (it consumes no RNG).
+//   - interval + flat table: records are tested with contiguous uint16
+//     compares against the candidate's σ-prefix.
+//   - fallback: the per-record evaluator, for oversized tables or a
+//     non-contiguous partition memo.
+func runTestFast(ps *proberState, st *ScanTable, pre *testPre, data *dataset.Dataset, seed dataset.Record, r *rng.RNG) TestResult {
+	res := TestResult{SeedProb: ps.proberEval(seed)}
+
+	part, ok := partitionIndexLog(res.SeedProb, pre.logGamma)
+	if !ok {
+		res.Threshold = float64(pre.k)
+		return res
+	}
+	res.Partition = part
+
+	res.Threshold = float64(pre.k)
+	if pre.randomized {
+		res.Threshold += r.Laplace(1 / pre.eps0)
+	}
+
+	ps.initPartitions(part, pre.logGamma)
+
+	n, maxCheck := pre.n, pre.maxCheck
+	// breakAt is the integer form of the loop's two exit conditions: the
+	// count is an int, so count ≥ threshold ⟺ count ≥ ⌈threshold⌉. The
+	// threshold is clamped before the ceil so an extreme Laplace draw can
+	// not overflow the conversion; a threshold below 1 exits on the first
+	// plausible record exactly as the float compare did.
+	breakAt := pre.maxPlausible
+	if t := res.Threshold; t < float64(breakAt) {
+		if t < 1 {
+			breakAt = 1
+		} else if c := int(math.Ceil(t)); c < breakAt {
+			breakAt = c
+		}
+	}
+
+	// The cyclic-walk draws happen unconditionally, in the exact order of
+	// the per-record path; the stride's coprime resolution consumes no RNG,
+	// so scan shapes that never walk skip it.
+	start := r.Intn(n)
+	s0 := 1
+	if n > 2 {
+		s0 = 1 + r.Intn(n-1)
+	}
+
+	switch {
+	case ps.constP >= 0:
+		// Constant prober: the walk visits records whose content never
+		// matters. Replaying it analytically: every visit checks one
+		// record, a match increments the count, and the loop stops at
+		// breakAt matches or maxCheck visits.
+		if ps.constMatch {
+			c := breakAt
+			if c > maxCheck {
+				c = maxCheck
+			}
+			res.Checked, res.PlausibleCount = c, c
+		} else {
+			res.Checked = maxCheck
+		}
+	case st != nil && st.flat != nil && ps.ivOK:
+		stride := 1
+		if n > 2 {
+			stride = st.strideFrom(s0, n)
+		}
+		res.Checked, res.PlausibleCount = scanFlat(st, ps, n, maxCheck, breakAt, start, stride)
+	default:
+		stride := 1
+		if n > 2 {
+			if st != nil {
+				stride = st.strideFrom(s0, n)
+			} else {
+				stride = s0
+				for gcd(stride, n) != 1 {
+					stride++
+					if stride >= n {
+						stride = 1
+					}
+				}
+			}
+		}
+		idx := start
+		for res.Checked < maxCheck {
+			da := data.Row(idx)
+			res.Checked++
+			if ps.plausibleEval(da) {
+				res.PlausibleCount++
+				if res.PlausibleCount >= breakAt {
+					break
+				}
+			}
+			idx += stride
+			if idx >= n {
+				idx -= n
+			}
+		}
+	}
+
+	res.Pass = float64(res.PlausibleCount) >= res.Threshold
+	return res
+}
+
+// scanFlat walks the flat σ-ordered mirror in cyclic order. A record is a
+// plausible seed iff its σ-agreement length with the candidate falls in
+// [jLo, jHi] (see initPartitions), which over the flat rows is: the first
+// jLo positions agree, and — when the interval stops short of the top
+// bucket — some position in [jLo, jHi] disagrees.
+func scanFlat(st *ScanTable, ps *proberState, n, maxCheck, breakAt, start, stride int) (checked, count int) {
+	flat, width := st.flat, st.width
+	jLo, jHi := ps.jLo, ps.jHi
+	needUpper := jHi < ps.hiIdx
+	// A record's plausibility is a pure function of its first σ-disagreement
+	// position a with the candidate, capped at stop: plausible ⟺ a ≥ jLo
+	// and — when the interval stops short of the top bucket — a < stop.
+	stop := jHi + 1
+	if !needUpper {
+		stop = jLo
+	}
+	if stop == 0 {
+		// jLo == 0 with the interval reaching the top bucket: every record
+		// matches, and the walk degenerates to the constant-match shape.
+		if breakAt > maxCheck {
+			breakAt = maxCheck
+		}
+		return breakAt, breakAt
+	}
+	yv := ps.yv[:stop]
+	y0 := yv[0]
+	// Walk row offsets directly: one add + wrap per record, no multiply.
+	base := start * width
+	step := stride * width
+	limit := n * width
+	if jLo > 0 {
+		// Records disagreeing at position 0 are implausible, so the common
+		// case is one load-compare-add per record.
+		for checked < maxCheck {
+			checked++
+			if flat[base] == y0 {
+				k := 1
+				for k < stop && flat[base+k] == yv[k] {
+					k++
+				}
+				if k >= jLo && (k < stop || !needUpper) {
+					count++
+					if count >= breakAt {
+						break
+					}
+				}
+			}
+			base += step
+			if base >= limit {
+				base -= limit
+			}
+		}
+		return checked, count
+	}
+	// jLo == 0: stop > 0 forces needUpper, so every record is plausible
+	// unless it agrees with the whole σ-prefix [0, stop).
+	for checked < maxCheck {
+		checked++
+		k := 0
+		for k < stop && flat[base+k] == yv[k] {
+			k++
+		}
+		if k < stop {
+			count++
+			if count >= breakAt {
+				break
+			}
+		}
+		base += step
+		if base >= limit {
+			base -= limit
+		}
+	}
+	return checked, count
+}

@@ -75,10 +75,7 @@ func (s *SeedSynthesizer) generateInto(dst, seed dataset.Record, r *rng.RNG) {
 	copy(dst, seed)
 	order := s.Model.Struct.Order
 	if f := s.Model.Frozen(); f != nil {
-		for idx := m - omega; idx < m; idx++ {
-			attr := order[idx]
-			dst[attr] = f.SampleAttr(attr, dst, r)
-		}
+		f.SampleChain(dst, order, m-omega, r)
 		return
 	}
 	for idx := m - omega; idx < m; idx++ {
@@ -86,6 +83,10 @@ func (s *SeedSynthesizer) generateInto(dst, seed dataset.Record, r *rng.RNG) {
 		dst[attr] = s.Model.SampleAttr(attr, dst, r)
 	}
 }
+
+// scanOrder exposes the attribute order the prober compares seeds along,
+// enabling the struct-of-arrays privacy-test scan (see ScanTableFor).
+func (s *SeedSynthesizer) scanOrder() []int { return s.Model.Struct.Order }
 
 // GenProb returns Pr{y = M(d)} exactly.
 //
@@ -126,6 +127,15 @@ type proberState struct {
 	// the constP analogue.
 	match      []bool
 	constMatch bool
+	// ivOK reports that the matching buckets form one contiguous interval
+	// [jLo, jHi] (bucket indices, not offsets), which lets the privacy-test
+	// scan replace per-record partition checks with σ-prefix compares over
+	// the flat scan table: a record is plausible iff its agreement bucket
+	// lies in the interval (see scanFlat). yv caches y's values in σ order
+	// up to jHi for those compares.
+	ivOK     bool
+	jLo, jHi int
+	yv       []uint16
 }
 
 // grow returns buf resized to n, reusing its backing array when possible.
@@ -146,13 +156,10 @@ func (s *SeedSynthesizer) proberInit(y dataset.Record, ps *proberState) {
 	order := s.Model.Struct.Order
 	ps.y, ps.order, ps.constP = y, order, -1
 	ps.tail = grow(ps.tail, m+1)
-	ps.tail[m] = 1
 	if f := s.Model.Frozen(); f != nil {
-		for idx := m - 1; idx >= 0; idx-- {
-			attr := order[idx]
-			ps.tail[idx] = ps.tail[idx+1] * f.CondProb(attr, y[attr], y)
-		}
+		f.TailProducts(y, order, ps.tail)
 	} else {
+		ps.tail[m] = 1
 		for idx := m - 1; idx >= 0; idx-- {
 			attr := order[idx]
 			ps.tail[idx] = ps.tail[idx+1] * s.Model.CondProb(attr, y[attr], y)
@@ -211,10 +218,11 @@ func (ps *proberState) proberEval(d dataset.Record) float64 {
 // logarithms at all. The memo feeds the exact probability values proberEval
 // would produce through the same PartitionIndex, so the decisions are
 // bit-identical to testing each record individually.
-func (ps *proberState) initPartitions(part int, gamma float64) {
+func (ps *proberState) initPartitions(part int, logGamma float64) {
 	if ps.constP >= 0 {
-		i, ok := PartitionIndex(ps.constP, gamma)
+		i, ok := partitionIndexLog(ps.constP, logGamma)
 		ps.constMatch = ps.constP > 0 && ok && i == part
+		ps.ivOK = false
 		return
 	}
 	n := ps.hiIdx - ps.loIdx + 1
@@ -225,8 +233,41 @@ func (ps *proberState) initPartitions(part int, gamma float64) {
 	}
 	for j := 0; j < n; j++ {
 		p := ps.weight * ps.cum[ps.loIdx+j]
-		i, ok := PartitionIndex(p, gamma)
+		i, ok := partitionIndexLog(p, logGamma)
 		ps.match[j] = p > 0 && ok && i == part
+	}
+	// Fold the memo into a bucket interval for the flat scan. The bucket
+	// probabilities weight·cum[j] are nondecreasing in j, so the buckets
+	// falling into one γ-partition are expected to be contiguous — but
+	// contiguity is verified rather than assumed (the scan falls back to the
+	// memo when it does not hold), keeping the exact per-bucket
+	// PartitionIndex memo the single source of truth.
+	first, last := -1, -1
+	ps.ivOK = true
+	for j := 0; j < n; j++ {
+		if !ps.match[j] {
+			continue
+		}
+		if first < 0 {
+			first = j
+		} else if !ps.match[j-1] {
+			ps.ivOK = false
+		}
+		last = j
+	}
+	if first < 0 {
+		ps.ivOK = false
+	}
+	if !ps.ivOK {
+		return
+	}
+	ps.jLo, ps.jHi = ps.loIdx+first, ps.loIdx+last
+	if cap(ps.yv) < ps.jHi+1 {
+		ps.yv = make([]uint16, ps.hiIdx+1)
+	}
+	ps.yv = ps.yv[:ps.jHi+1]
+	for k := 0; k <= ps.jHi; k++ {
+		ps.yv[k] = ps.y[ps.order[k]]
 	}
 }
 

@@ -18,13 +18,21 @@ import (
 // which case the record cannot be a plausible seed. Probabilities slightly
 // above 1 (floating-point dust) are clamped into partition 0.
 func PartitionIndex(p, gamma float64) (int, bool) {
+	return partitionIndexLog(p, math.Log(gamma))
+}
+
+// partitionIndexLog is PartitionIndex with log γ precomputed: the hot path
+// evaluates it once per run instead of once per bucket. math.Log is a pure
+// function, so the division sees the identical float64 and the result is
+// bit-identical.
+func partitionIndexLog(p, logGamma float64) (int, bool) {
 	if p <= 0 || math.IsNaN(p) {
 		return 0, false
 	}
 	if p >= 1 {
 		return 0, true
 	}
-	i := int(math.Floor(-math.Log(p) / math.Log(gamma)))
+	i := int(math.Floor(-math.Log(p) / logGamma))
 	if i < 0 {
 		i = 0
 	}
@@ -166,76 +174,6 @@ func runTestProbe(prob func(d dataset.Record) float64, data *dataset.Dataset, se
 				if float64(res.PlausibleCount) >= res.Threshold || res.PlausibleCount >= maxPlausible {
 					break
 				}
-			}
-		}
-		idx += stride
-		if idx >= n {
-			idx -= n
-		}
-	}
-
-	res.Pass = float64(res.PlausibleCount) >= res.Threshold
-	return res, nil
-}
-
-// runTestScratch is runTestProbe over reusable prober state, with the
-// per-record partition test replaced by the prober's memoized value-lattice
-// lookup (proberState.initPartitions): identical RNG consumption, identical
-// decisions, no logarithms in the scan.
-func runTestScratch(ps *proberState, probe func(d dataset.Record) float64, data *dataset.Dataset, seed dataset.Record, cfg TestConfig, r *rng.RNG) (TestResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return TestResult{}, err
-	}
-	n := data.Len()
-	if n == 0 {
-		return TestResult{}, fmt.Errorf("core: privacy test on empty dataset")
-	}
-
-	res := TestResult{SeedProb: probe(seed)}
-
-	part, ok := PartitionIndex(res.SeedProb, cfg.Gamma)
-	if !ok {
-		res.Threshold = float64(cfg.K)
-		return res, nil
-	}
-	res.Partition = part
-
-	res.Threshold = float64(cfg.K)
-	if cfg.Randomized {
-		res.Threshold += r.Laplace(1 / cfg.Eps0)
-	}
-
-	ps.initPartitions(part, cfg.Gamma)
-
-	maxCheck := n
-	if cfg.MaxCheckPlausible > 0 && cfg.MaxCheckPlausible < n {
-		maxCheck = cfg.MaxCheckPlausible
-	}
-	maxPlausible := math.MaxInt
-	if cfg.MaxPlausible > 0 {
-		maxPlausible = cfg.MaxPlausible
-	}
-
-	start := r.Intn(n)
-	stride := 1
-	if n > 2 {
-		stride = 1 + r.Intn(n-1)
-		for gcd(stride, n) != 1 {
-			stride++
-			if stride >= n {
-				stride = 1
-			}
-		}
-	}
-
-	idx := start
-	for res.Checked < maxCheck {
-		da := data.Row(idx)
-		res.Checked++
-		if ps.plausibleEval(da) {
-			res.PlausibleCount++
-			if float64(res.PlausibleCount) >= res.Threshold || res.PlausibleCount >= maxPlausible {
-				break
 			}
 		}
 		idx += stride

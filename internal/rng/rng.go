@@ -93,7 +93,55 @@ func NewStream(seed, idx uint64) *RNG {
 func (r *RNG) ReseedStream(seed, idx uint64) {
 	st := seed
 	root := splitmix64(&st)
-	st = root ^ (idx+1)*0x9e3779b97f4a7c15
+	st = root ^ (idx+1)*streamStep
+	seedState(&r.s, splitmix64(&st))
+}
+
+// streamStep is the SplitMix64 golden-ratio increment used by ReseedStream
+// to mix the stream index into the root: stream idx perturbs the root by
+// (idx+1)·streamStep before the final SplitMix64 finalization.
+const streamStep = 0x9e3779b97f4a7c15
+
+// StreamSeeder is the batched form of ReseedStream: it fixes the seed half
+// of the (seed, idx) stream derivation once, so a hot loop that walks a
+// contiguous index range pays one 64-bit add per candidate instead of
+// re-deriving the root every time.
+//
+// The derivation is provably identical to ReseedStream. ReseedStream(seed,
+// idx) computes root = splitmix64(seed) — a pure function of the seed — and
+// then finalizes root ^ (idx+1)·streamStep. NewStreamSeeder captures that
+// same root, Seek(idx) sets acc = (idx+1)·streamStep, and each Reseed uses
+// root ^ acc then advances acc by streamStep; since (idx+1)·streamStep and
+// acc both live in uint64 arithmetic, acc after j advances equals
+// (idx+j+1)·streamStep exactly, so the i-th Reseed after Seek(idx) feeds the
+// finalizer the identical word ReseedStream(seed, idx+i) would. The
+// equivalence is pinned by quick and fuzz tests over arbitrary
+// (seed, offset, i).
+type StreamSeeder struct {
+	root uint64 // splitmix64 output for the seed; pure function of it
+	acc  uint64 // (next index + 1) · streamStep
+}
+
+// NewStreamSeeder returns a seeder for the stream family rooted at seed,
+// positioned at index 0.
+func NewStreamSeeder(seed uint64) StreamSeeder {
+	st := seed
+	return StreamSeeder{root: splitmix64(&st), acc: streamStep}
+}
+
+// Seek positions the seeder so the next Reseed produces the stream of the
+// given index. Seeking is O(1): a batch worker claims a candidate range and
+// seeks straight to its start.
+func (s *StreamSeeder) Seek(idx uint64) {
+	s.acc = (idx + 1) * streamStep
+}
+
+// Reseed resets r in place to exactly the state ReseedStream(seed, idx)
+// would produce for the seeder's current index, then advances to the next
+// index.
+func (s *StreamSeeder) Reseed(r *RNG) {
+	st := s.root ^ s.acc
+	s.acc += streamStep
 	seedState(&r.s, splitmix64(&st))
 }
 

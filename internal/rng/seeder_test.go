@@ -1,0 +1,90 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestStreamSeederMatchesReseedStream walks a few contiguous ranges and
+// checks every reseed against the per-candidate derivation it replaces.
+func TestStreamSeederMatchesReseedStream(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1 << 63, ^uint64(0)} {
+		for _, start := range []uint64{0, 1, 7, 1 << 20, ^uint64(0) - 3} {
+			s := NewStreamSeeder(seed)
+			s.Seek(start)
+			got, want := New(0), New(0)
+			for i := uint64(0); i < 64; i++ {
+				s.Reseed(got)
+				want.ReseedStream(seed, start+i)
+				if got.s != want.s {
+					t.Fatalf("seed %d start %d step %d: seeder state %v, ReseedStream state %v",
+						seed, start, i, got.s, want.s)
+				}
+				// The streams must agree too, and draining got must not
+				// perturb the next reseed.
+				if g, w := got.Uint64(), want.Uint64(); g != w {
+					t.Fatalf("seed %d start %d step %d: first draw %d, want %d", seed, start, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamSeederSeekBackAndForth checks that Seek fully repositions the
+// seeder: interleaved out-of-order batches reproduce the same streams.
+func TestStreamSeederSeekBackAndForth(t *testing.T) {
+	s := NewStreamSeeder(99)
+	r, want := New(0), New(0)
+	for _, idx := range []uint64{12, 3, 12, 0, 1 << 40, 13} {
+		s.Seek(idx)
+		s.Reseed(r)
+		want.ReseedStream(99, idx)
+		if r.s != want.s {
+			t.Fatalf("Seek(%d): state %v, want %v", idx, r.s, want.s)
+		}
+	}
+}
+
+// TestStreamSeederQuick property-tests the skip-ahead contract for
+// arbitrary (seed, offset, i): the i-th reseed after Seek(offset) equals
+// ReseedStream(seed, offset+i).
+func TestStreamSeederQuick(t *testing.T) {
+	f := func(seed, offset uint64, hops uint8) bool {
+		i := uint64(hops % 37)
+		s := NewStreamSeeder(seed)
+		s.Seek(offset)
+		r := New(0)
+		for j := uint64(0); j <= i; j++ {
+			s.Reseed(r)
+		}
+		want := New(0)
+		want.ReseedStream(seed, offset+i)
+		return r.s == want.s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzStreamSeeder fuzzes the same contract: for any (seed, offset, i) the
+// seeder's skip-ahead stream equals the stateless derivation, including
+// across index-space wraparound.
+func FuzzStreamSeeder(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint16(0))
+	f.Add(uint64(7), uint64(1<<33), uint16(255))
+	f.Add(^uint64(0), ^uint64(0), uint16(9))
+	f.Fuzz(func(t *testing.T, seed, offset uint64, hops uint16) {
+		i := uint64(hops % 129)
+		s := NewStreamSeeder(seed)
+		s.Seek(offset)
+		r := New(0)
+		for j := uint64(0); j <= i; j++ {
+			s.Reseed(r)
+		}
+		want := New(0)
+		want.ReseedStream(seed, offset+i)
+		if r.s != want.s {
+			t.Fatalf("seeder diverges from ReseedStream at (seed=%d, offset=%d, i=%d)", seed, offset, i)
+		}
+	})
+}

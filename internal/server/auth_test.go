@@ -440,7 +440,15 @@ func TestAuthJobQuota(t *testing.T) {
 
 	cfg := smallSuiteConfig()
 	cfg.Sections = []string{"fig6"}
-	resp := do(t, http.MethodPost, ts.URL+"/v1/eval", "quota-tenant-key-0001", cfg)
+	// The slot-holding job is deliberately oversized (seconds of pipeline
+	// work) so it is still running when the second launch arrives — the
+	// small config finishes too fast to pin the quota against.
+	slow := cfg
+	slow.N = 100000
+	slow.MaxCheckPlausible = 50000
+	slow.Fig6Candidates = 2000
+	slow.Fig6Ks = []int{5, 20, 50}
+	resp := do(t, http.MethodPost, ts.URL+"/v1/eval", "quota-tenant-key-0001", slow)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first launch = %d", resp.StatusCode)
 	}

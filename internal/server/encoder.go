@@ -1,0 +1,161 @@
+package server
+
+import (
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/dataset"
+)
+
+// NDJSON encoding for the synthesize stream. The hot loop appends directly
+// into a reused []byte batch buffer: attribute names and every domain value
+// are JSON-escaped once at stream start into a single fragment arena, so
+// per record the encoder does nothing but copy fragments — no json.Marshal,
+// no per-record []byte, no interface boxing. The escaper below reproduces
+// encoding/json's output byte for byte (HTML escaping included), pinned by
+// quick/fuzz tests, so switching the stream off json.Marshal changed no
+// client-visible bytes.
+
+// span addresses one pre-encoded fragment inside the encoder's arena.
+type span struct{ lo, hi int }
+
+// recordEncoder renders records as JSON objects with attributes in schema
+// order (encoding/json maps would sort keys alphabetically). All fragments
+// live in one contiguous arena; appendRecord is pure copies.
+type recordEncoder struct {
+	frags  []byte
+	names  []span // per attribute: `"NAME":`, comma-prefixed after the first
+	values []span // per (attribute, code), flattened; voff indexes the rows
+	voff   []int
+	// recSize is an upper bound on one encoded record's length, letting
+	// sinks pre-grow batch buffers to their final size.
+	recSize int
+}
+
+func newRecordEncoder(meta *dataset.Metadata) *recordEncoder {
+	enc := &recordEncoder{
+		names: make([]span, len(meta.Attrs)),
+		voff:  make([]int, len(meta.Attrs)),
+	}
+	enc.recSize = len("{}\n")
+	for i := range meta.Attrs {
+		lo := len(enc.frags)
+		if i > 0 {
+			enc.frags = append(enc.frags, ',')
+		}
+		enc.frags = appendJSONString(enc.frags, meta.Attrs[i].Name)
+		enc.frags = append(enc.frags, ':')
+		enc.names[i] = span{lo, len(enc.frags)}
+		nameLen := len(enc.frags) - lo
+		enc.voff[i] = len(enc.values)
+		widest := 0
+		for code := 0; code < meta.Attrs[i].Card(); code++ {
+			vlo := len(enc.frags)
+			enc.frags = appendJSONString(enc.frags, meta.Attrs[i].Value(uint16(code)))
+			enc.values = append(enc.values, span{vlo, len(enc.frags)})
+			if w := len(enc.frags) - vlo; w > widest {
+				widest = w
+			}
+		}
+		enc.recSize += nameLen + widest
+	}
+	return enc
+}
+
+// appendRecord appends the record's NDJSON line (object + newline) to dst
+// and returns the extended slice. It allocates only when dst must grow.
+func (e *recordEncoder) appendRecord(dst []byte, rec dataset.Record) []byte {
+	dst = append(dst, '{')
+	frags := e.frags
+	for i, code := range rec {
+		n := e.names[i]
+		dst = append(dst, frags[n.lo:n.hi]...)
+		v := e.values[e.voff[i]+int(code)]
+		dst = append(dst, frags[v.lo:v.hi]...)
+	}
+	return append(dst, '}', '\n')
+}
+
+// appendErrorLine appends the mid-stream error line — the NDJSON encoding
+// of errorJSON — without json.Marshal (whose error the old call site
+// silently discarded; this encoder has no failure mode).
+func appendErrorLine(dst []byte, msg string) []byte {
+	dst = append(dst, `{"error":`...)
+	dst = appendJSONString(dst, msg)
+	return append(dst, '}', '\n')
+}
+
+// appendReleaseLine appends the release-separator line for multi-release
+// streams.
+func appendReleaseLine(dst []byte, j int) []byte {
+	dst = append(dst, `{"release":`...)
+	dst = strconv.AppendInt(dst, int64(j), 10)
+	return append(dst, '}', '\n')
+}
+
+// jsonSafe marks the ASCII bytes encoding/json copies through verbatim:
+// printable, not a quote or backslash, and not an HTML-significant
+// character (json.Marshal escapes <, >, & by default and the stream must
+// keep emitting identical bytes).
+var jsonSafe = func() (t [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		t[b] = b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+	}
+	return
+}()
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends the JSON encoding of s — byte-identical to
+// json.Marshal(s) — to dst and returns the extended slice: HTML escaping
+// on, control characters as their short escapes or \u00XX, invalid UTF-8 emitted as
+// the six-character backslash-ufffd escape, and U+2028/U+2029 escaped.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case c == utf8.RuneError && size == 1:
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+		case c == '\u2028' || c == '\u2029':
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+		default:
+			i += size
+		}
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

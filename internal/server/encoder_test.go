@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+// trickyStrings exercises every escaping class json.Marshal distinguishes:
+// plain ASCII, quotes and backslashes, the named control escapes, other
+// control bytes, HTML-significant characters, multi-byte UTF-8, the JS line
+// separators, and invalid UTF-8.
+var trickyStrings = []string{
+	"",
+	"plain",
+	`with "quotes" and \backslashes\`,
+	"newline\nreturn\rtab\t",
+	"backspace\bformfeed\f",
+	"control\x00\x01\x1f",
+	"html <b> & </b>",
+	"unicode: héllo wörld ✓ 日本語",
+	"line and separators",
+	"invalid \xff utf8 \xc3\x28 seq",
+	"\xed\xa0\x80 lone surrogate bytes",
+	"mixed<\n& \xffend",
+}
+
+// TestAppendJSONStringMatchesMarshal pins the arena encoder's escaper to
+// encoding/json byte for byte, first over the hand-picked corpus, then
+// property-based over arbitrary strings (quick generates arbitrary — often
+// invalid — UTF-8).
+func TestAppendJSONStringMatchesMarshal(t *testing.T) {
+	check := func(s string) error {
+		want, err := json.Marshal(s)
+		if err != nil {
+			return fmt.Errorf("json.Marshal(%q): %v", s, err)
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			return fmt.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+		return nil
+	}
+	for _, s := range trickyStrings {
+		if err := check(s); err != nil {
+			t.Error(err)
+		}
+	}
+	f := func(s string) bool { return check(s) == nil }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzAppendJSONString fuzzes the same parity contract over raw byte
+// strings.
+func FuzzAppendJSONString(f *testing.F) {
+	for _, s := range trickyStrings {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		if got := appendJSONString(nil, s); string(got) != string(want) {
+			t.Fatalf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	})
+}
+
+// encoderMeta builds a schema whose names and values cover the escaping
+// classes, so record encoding exercises the arena fragments end to end.
+func encoderMeta(t testing.TB) *dataset.Metadata {
+	t.Helper()
+	meta, err := dataset.NewMetadata(
+		dataset.NewCategorical("plain", "a", "b", "c"),
+		dataset.NewCategorical(`qu"ote & <tag>`, "x\ny", "z w", "née"),
+		dataset.NewNumerical("num", 0, 9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+// TestAppendRecordMatchesJSON checks each NDJSON line against the exact
+// bytes the pre-arena encoder produced (json.Marshal fragments joined in
+// schema order) and verifies the line is valid JSON carrying the right
+// values.
+func TestAppendRecordMatchesJSON(t *testing.T) {
+	meta := encoderMeta(t)
+	enc := newRecordEncoder(meta)
+	recs := []dataset.Record{
+		{0, 0, 0},
+		{1, 1, 5},
+		{2, 2, 9},
+	}
+	var buf []byte
+	for _, rec := range recs {
+		line := enc.appendRecord(nil, rec)
+		buf = enc.appendRecord(buf, rec)
+
+		want := []byte{'{'}
+		for i, code := range rec {
+			if i > 0 {
+				want = append(want, ',')
+			}
+			n, _ := json.Marshal(meta.Attrs[i].Name)
+			v, _ := json.Marshal(meta.Attrs[i].Value(code))
+			want = append(want, n...)
+			want = append(want, ':')
+			want = append(want, v...)
+		}
+		want = append(want, '}', '\n')
+		if string(line) != string(want) {
+			t.Errorf("record %v: line %q, want %q", rec, line, want)
+		}
+		if len(line) > enc.recSize {
+			t.Errorf("record %v: line is %d bytes, recSize bound says %d", rec, len(line), enc.recSize)
+		}
+
+		var decoded map[string]string
+		if err := json.Unmarshal(line, &decoded); err != nil {
+			t.Fatalf("record %v: line %q is not valid JSON: %v", rec, line, err)
+		}
+		for i, code := range rec {
+			if got := decoded[meta.Attrs[i].Name]; got != meta.Attrs[i].Value(code) {
+				t.Errorf("record %v attr %q: decoded %q, want %q", rec, meta.Attrs[i].Name, got, meta.Attrs[i].Value(code))
+			}
+		}
+	}
+	if len(buf) == 0 {
+		t.Fatal("batch buffer empty")
+	}
+}
+
+// TestAppendErrorLine pins the error-line writer to the bytes the old
+// json.Marshal call produced, newline included, across the escaping corpus.
+func TestAppendErrorLine(t *testing.T) {
+	for _, msg := range trickyStrings {
+		want, err := json.Marshal(errorJSON{Error: msg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		if got := appendErrorLine(nil, msg); string(got) != string(want) {
+			t.Errorf("appendErrorLine(%q) = %q, want %q", msg, got, want)
+		}
+	}
+}
+
+// TestAppendReleaseLine pins the release-separator writer to the exact
+// fmt.Fprintf bytes it replaced.
+func TestAppendReleaseLine(t *testing.T) {
+	for _, j := range []int{0, 1, 7, 31} {
+		want := fmt.Sprintf("{\"release\":%d}\n", j)
+		if got := appendReleaseLine(nil, j); string(got) != want {
+			t.Errorf("appendReleaseLine(%d) = %q, want %q", j, got, want)
+		}
+	}
+}
+
+// TestEncoderZeroAlloc pins the allocation-free contract of the per-batch
+// hot path: appending into a pre-grown buffer allocates nothing, for
+// records, error lines and release separators alike.
+func TestEncoderZeroAlloc(t *testing.T) {
+	enc := newRecordEncoder(encoderMeta(t))
+	rec := dataset.Record{1, 2, 3}
+	buf := make([]byte, 0, 4096)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = enc.appendRecord(buf[:0], rec)
+		buf = appendErrorLine(buf[:0], "stream aborted: disk full")
+		buf = appendReleaseLine(buf[:0], 3)
+	}); allocs != 0 {
+		t.Fatalf("encoder hot path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// BenchmarkEncodeNDJSON measures the per-record cost of the arena encoder
+// on a reused batch buffer — the steady-state loop of the synthesize sink.
+func BenchmarkEncodeNDJSON(b *testing.B) {
+	enc := newRecordEncoder(encoderMeta(b))
+	const batch = 512
+	recs := make([]dataset.Record, batch)
+	for i := range recs {
+		recs[i] = dataset.Record{uint16(i % 3), uint16(i % 3), uint16(i % 10)}
+	}
+	buf := make([]byte, 0, batch*enc.recSize)
+	var bytesOut int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for _, rec := range recs {
+			buf = enc.appendRecord(buf, rec)
+		}
+		bytesOut += int64(len(buf))
+	}
+	b.SetBytes(bytesOut / int64(b.N))
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+}

@@ -511,21 +511,26 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 
 	enc := newRecordEncoder(fm.Meta())
 	rc := http.NewResponseController(w)
-	var buf bytes.Buffer
+	// One reused batch buffer for the whole stream: records append straight
+	// into it (see encoder.go), so steady-state encoding allocates nothing.
+	var buf []byte
 	var streamBytes int64
 	sink := func(batch []dataset.Record) error {
-		buf.Reset()
+		if need := len(batch) * enc.recSize; cap(buf) < need {
+			buf = make([]byte, 0, need)
+		}
+		buf = buf[:0]
 		for _, rec := range batch {
-			enc.append(&buf, rec)
+			buf = enc.appendRecord(buf, rec)
 		}
 		// Rolling per-batch write deadline: a client that stops reading
 		// cannot pin this handler's pool grant forever (the server sets no
 		// global WriteTimeout, which would kill long legitimate streams).
 		_ = rc.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
-		if _, werr := w.Write(buf.Bytes()); werr != nil {
+		if _, werr := w.Write(buf); werr != nil {
 			return werr
 		}
-		streamBytes += int64(buf.Len())
+		streamBytes += int64(len(buf))
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -542,14 +547,13 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	err = nil
 	for j := 0; j < releases; j++ {
 		if releases > 1 {
-			buf.Reset()
-			fmt.Fprintf(&buf, "{\"release\":%d}\n", j)
+			buf = appendReleaseLine(buf[:0], j)
 			_ = rc.SetWriteDeadline(time.Now().Add(batchWriteTimeout))
-			if _, werr := w.Write(buf.Bytes()); werr != nil {
+			if _, werr := w.Write(buf); werr != nil {
 				err = werr
 				break
 			}
-			streamBytes += int64(buf.Len())
+			streamBytes += int64(len(buf))
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -587,11 +591,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	if err != nil && ctx.Err() == nil {
 		// The status line is gone; surface the failure as a final NDJSON
 		// error line so clients can distinguish truncation from success.
-		buf.Reset()
-		line, _ := json.Marshal(errorJSON{Error: err.Error()})
-		buf.Write(line)
-		buf.WriteByte('\n')
-		w.Write(buf.Bytes())
+		buf = appendErrorLine(buf[:0], err.Error())
+		w.Write(buf)
 	}
 	h.Set("X-Sgf-Candidates", fmt.Sprint(stats.Candidates))
 	h.Set("X-Sgf-Released", fmt.Sprint(stats.Released))
@@ -599,43 +600,6 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request, id str
 	h.Set("X-Sgf-Pass-Rate", fmt.Sprintf("%.6f", stats.PassRate()))
 	h.Set("X-Sgf-Elapsed-Ms", fmt.Sprint(stats.Elapsed.Milliseconds()))
 	h.Set("X-Sgf-Stage-Ms", sc.trailer())
-}
-
-// recordEncoder renders records as JSON objects with attributes in schema
-// order (encoding/json maps would sort keys alphabetically). Attribute
-// names and every domain value are JSON-encoded once up front, so the
-// per-record hot path is pure buffer writes.
-type recordEncoder struct {
-	names  [][]byte // `"NAME":` fragments, comma-prefixed after the first
-	values [][][]byte
-}
-
-func newRecordEncoder(meta *dataset.Metadata) *recordEncoder {
-	enc := &recordEncoder{
-		names:  make([][]byte, len(meta.Attrs)),
-		values: make([][][]byte, len(meta.Attrs)),
-	}
-	for i := range meta.Attrs {
-		name, _ := json.Marshal(meta.Attrs[i].Name)
-		if i > 0 {
-			name = append([]byte{','}, name...)
-		}
-		enc.names[i] = append(name, ':')
-		enc.values[i] = make([][]byte, meta.Attrs[i].Card())
-		for code := range enc.values[i] {
-			enc.values[i][code], _ = json.Marshal(meta.Attrs[i].Value(uint16(code)))
-		}
-	}
-	return enc
-}
-
-func (e *recordEncoder) append(buf *bytes.Buffer, rec dataset.Record) {
-	buf.WriteByte('{')
-	for i, code := range rec {
-		buf.Write(e.names[i])
-		buf.Write(e.values[i][code])
-	}
-	buf.WriteString("}\n")
 }
 
 // handleHealthz implements GET /healthz. The store section reports the

@@ -36,6 +36,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/backend"
 	"repro/internal/backend/bayes"
@@ -218,6 +219,13 @@ type FittedModel struct {
 	ModelBudget Budget
 	// Splits records the sizes of the DT/DP/DS partitions used.
 	Splits [3]int
+
+	// scanOnce/scanTab lazily cache the privacy test's scan layout. The
+	// table depends only on Seeds and the synthesizer's attribute order —
+	// both fixed per fitted model — so one build serves every Mechanism the
+	// model answers, whatever its privacy parameters.
+	scanOnce sync.Once
+	scanTab  *core.ScanTable
 }
 
 // Meta returns the schema the model was fitted over.
@@ -329,7 +337,18 @@ func (fm *FittedModel) Mechanism(opts SynthOptions) (*Mechanism, error) {
 		MaxPlausible:      opts.MaxPlausible,
 		MaxCheckPlausible: opts.MaxCheckPlausible,
 	}
-	return core.NewMechanism(syn, fm.Seeds, tc)
+	mech, err := core.NewMechanism(syn, fm.Seeds, tc)
+	if err != nil {
+		return nil, err
+	}
+	// Attach the model-wide scan table so per-request generation skips the
+	// O(n·m) rebuild. The table keys on the synthesizer's scan order, which
+	// is fixed per fitted model; the build is racy-safe behind scanOnce and
+	// a nil result (synthesizer with no fixed order) leaves the mechanism on
+	// its lazy path.
+	fm.scanOnce.Do(func() { fm.scanTab = core.ScanTableFor(syn, fm.Seeds) })
+	mech.Scan = fm.scanTab
+	return mech, nil
 }
 
 // Synthesize releases opts.Records synthetic records from the fitted model

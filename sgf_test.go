@@ -131,3 +131,26 @@ func TestSynthesizeDeterministicForFixedSeed(t *testing.T) {
 		}
 	}
 }
+
+func TestMechanismSharesScanTable(t *testing.T) {
+	pop := acs.NewPopulation()
+	data := pop.Generate(rng.New(9), 2000)
+	fm, err := sgf.Fit(data, sgf.FitOptions{MaxCost: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := fm.Mechanism(sgf.SynthOptions{K: 5, Gamma: 4, OmegaLo: 3, OmegaHi: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := fm.Mechanism(sgf.SynthOptions{K: 20, Gamma: 2, Eps0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Scan == nil {
+		t.Fatal("Mechanism over the Bayes-net backend carries no scan table")
+	}
+	if m1.Scan != m2.Scan {
+		t.Fatal("mechanisms from one fitted model do not share the scan table")
+	}
+}
